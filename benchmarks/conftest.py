@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: artifact saving and common libraries."""
+
+import pathlib
+
+import pytest
+
+from repro.apps.h264 import build_h264_library
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture()
+def save_artifact():
+    """Write a regenerated table/figure under ``benchmarks/out/``."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / name
+        path.write_text(text + "\n")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def h264_library():
+    return build_h264_library()

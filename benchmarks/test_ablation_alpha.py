@@ -1,0 +1,74 @@
+"""Ablation — the alpha trade-off factor (paper §2 and §4.1).
+
+Alpha appears twice in the paper: scaling the FDF's energy break-even
+offset (energy efficiency vs speed-up) and scaling the RISPP area budget
+``alpha x GE_max``.  This bench sweeps alpha and verifies both effects:
+higher alpha makes forecasts more conservative (no more candidates, often
+fewer) and costs more area (smaller GE saving).
+"""
+
+from repro.apps.aes import aes_forecast_report
+from repro.forecast import rotation_offset
+from repro.hardware import H264_PHASES, ge_saving_pct, rispp_area
+from repro.reporting import render_table
+
+ALPHAS = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def sweep():
+    rows = []
+    for alpha in ALPHAS:
+        report = aes_forecast_report(runs=6, containers=6, alpha=alpha, seed=0)
+        rows.append(
+            {
+                "alpha": alpha,
+                "candidates": len(report.candidates),
+                "fc_points": len(report.annotation.all_points()),
+                "offset": rotation_offset(alpha, 1000.0, 544.0, 24.0),
+                "area": rispp_area(list(H264_PHASES), alpha),
+                "saving": ge_saving_pct(list(H264_PHASES), alpha),
+            }
+        )
+    return rows
+
+
+def test_ablation_alpha(benchmark, save_artifact):
+    rows = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    # Offset scales exactly linearly in alpha.
+    base = rows[0]["offset"] / ALPHAS[0]
+    for row in rows:
+        assert row["offset"] == base * row["alpha"]
+
+    # Forecasting becomes monotonically more conservative.
+    cand_counts = [r["candidates"] for r in rows]
+    assert cand_counts == sorted(cand_counts, reverse=True)
+    assert cand_counts[0] >= cand_counts[-1]
+    fc_counts = [r["fc_points"] for r in rows]
+    assert fc_counts == sorted(fc_counts, reverse=True)
+
+    # Area grows, saving shrinks; at very large alpha RISPP loses its
+    # area advantage (the trade-off the paper's GE_constraint bounds).
+    areas = [r["area"] for r in rows]
+    savings = [r["saving"] for r in rows]
+    assert areas == sorted(areas)
+    assert savings == sorted(savings, reverse=True)
+    assert savings[0] > 80
+    assert savings[-1] < 0  # alpha=4 exceeds the extensible processor
+
+    table = render_table(
+        ["alpha", "FC candidates", "FC points", "FDF offset", "RISPP GE", "saving %"],
+        [
+            [
+                r["alpha"],
+                r["candidates"],
+                r["fc_points"],
+                round(r["offset"], 2),
+                round(r["area"]),
+                round(r["saving"], 1),
+            ]
+            for r in rows
+        ],
+        title="Ablation: the alpha trade-off (forecast conservatism + area)",
+    )
+    save_artifact("ablation_alpha.txt", table)

@@ -1,0 +1,101 @@
+"""Ablation — configuration-memory bandwidth.
+
+The paper: "The rotation time generally corresponds to the memory
+transfer rate (e.g. 66 MB/s for Virtex-II) and the bitstream size and our
+concept would directly profit from faster rotation time, due to e.g.
+faster memory bandwidth."  This bench sweeps the port rate from half the
+Virtex-II SelectMap figure up to ICAP-class bandwidths and measures the
+profit directly: the latency from a forecast firing until the SI first
+executes in hardware, and the shrinking forecast horizon the FDF needs.
+"""
+
+from repro.apps.h264 import build_h264_library
+from repro.forecast import ForecastDecisionFunction
+from repro.hardware import SELECTMAP_BYTES_PER_US
+from repro.reporting import render_table
+from repro.runtime import RisppRuntime
+
+#: Port rates in bytes/us: half SelectMap, Virtex-II SelectMap (Table 1),
+#: 2x, 4x, and an ICAP-class interface.
+RATES = {
+    "SelectMap / 2": SELECTMAP_BYTES_PER_US / 2,
+    "SelectMap (Virtex-II)": SELECTMAP_BYTES_PER_US,
+    "SelectMap x 2": SELECTMAP_BYTES_PER_US * 2,
+    "SelectMap x 4": SELECTMAP_BYTES_PER_US * 4,
+    "ICAP-class (800 MB/s)": 800.0,
+}
+
+
+def time_to_hardware(rate: float) -> tuple[int, int]:
+    """Cycles from forecast to first HW execution of SATD_4x4."""
+    library = build_h264_library()
+    rt = RisppRuntime(library, 6, core_mhz=100.0)
+    rt.port.bytes_per_us = rate
+    rt.forecast("SATD_4x4", 0, expected=1000)
+    ready = max(j.finish_at for j in rt.port.jobs)
+    # Execute until hardware mode engages; the switch time is `ready`.
+    cycles = rt.execute_si("SATD_4x4", ready + 1)
+    assert cycles < 544
+    return ready, rt.stats.rotations_requested
+
+
+def sweep():
+    results = {}
+    for name, rate in RATES.items():
+        ready, rotations = time_to_hardware(rate)
+        # The FDF sweet spot scales with the rotation time directly.
+        fdf = ForecastDecisionFunction(
+            t_rot=ready / max(rotations, 1),
+            t_sw=544.0,
+            t_hw=24.0,
+            rotation_energy=1000.0,
+        )
+        results[name] = {
+            "rate": rate,
+            "ready": ready,
+            "rotations": rotations,
+            "sweet_low": fdf.sweet_spot()[0],
+        }
+    return results
+
+
+def test_ablation_bandwidth(benchmark, save_artifact):
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    names = list(RATES)
+    readies = [results[n]["ready"] for n in names]
+    # Faster configuration memory -> strictly earlier hardware availability.
+    assert readies == sorted(readies, reverse=True)
+    # Rotation count is bandwidth-independent (same molecules chosen).
+    assert len({results[n]["rotations"] for n in names}) == 1
+    # Doubling the rate halves the time to hardware (pure transfer bound).
+    half = results["SelectMap / 2"]["ready"]
+    base = results["SelectMap (Virtex-II)"]["ready"]
+    assert half / base == benchmark_approx(2.0)
+    # The usable forecast horizon shrinks proportionally: shorter-lead
+    # forecast points become viable.
+    sweet = [results[n]["sweet_low"] for n in names]
+    assert sweet == sorted(sweet, reverse=True)
+
+    table = render_table(
+        ["port", "rate [B/us]", "forecast->HW [cycles]", "rotations",
+         "min useful lead [cycles]"],
+        [
+            [
+                name,
+                round(results[name]["rate"], 1),
+                results[name]["ready"],
+                results[name]["rotations"],
+                round(results[name]["sweet_low"]),
+            ]
+            for name in names
+        ],
+        title="Ablation: configuration-memory bandwidth (paper §6 remark)",
+    )
+    save_artifact("ablation_bandwidth.txt", table)
+
+
+def benchmark_approx(value, rel=0.02):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,85 @@
+"""Ablation — forecasting ("Rotation in Advance") vs rotate-on-demand.
+
+The paper's central run-time claim: forecasts let rotations start before
+the hot spot arrives, so the SI is (at least partially) in hardware when
+first needed.  This bench runs the same workload — a warm-up phase
+followed by a burst of SATD_4x4 executions — through two managers, one
+honouring a forecast fired at the start of the warm-up, one rotating only
+on first use, and compares cycles spent in SIs.
+"""
+
+from repro.apps.h264 import build_h264_library
+from repro.reporting import render_table
+from repro.runtime import RisppRuntime
+
+WARMUP_CYCLES = 600_000  # covers the four rotations of the minimal molecule
+BURST = 1500  # long enough that rotate-on-demand converges to hardware mid-burst
+
+
+def run(forecasting: bool):
+    library = build_h264_library()
+    rt = RisppRuntime(library, 6, core_mhz=100.0, forecasting=forecasting)
+    now = 0
+    if forecasting:
+        rt.forecast("SATD_4x4", now, expected=BURST)
+    now += WARMUP_CYCLES
+    total = 0
+    for _ in range(BURST):
+        cycles = rt.execute_si("SATD_4x4", now)
+        total += cycles
+        now += cycles
+    return rt, total
+
+
+def compare():
+    rt_fc, cycles_fc = run(True)
+    rt_od, cycles_od = run(False)
+    return rt_fc, cycles_fc, rt_od, cycles_od
+
+
+def test_ablation_forecast(benchmark, save_artifact):
+    rt_fc, cycles_fc, rt_od, cycles_od = benchmark.pedantic(
+        compare, rounds=2, iterations=1
+    )
+
+    # With forecasting the whole burst runs in hardware.
+    assert rt_fc.stats.sw_executions == 0
+    assert rt_fc.stats.hw_executions == BURST
+    # Rotate-on-demand pays a software-execution penalty while the
+    # rotation catches up, then converges to hardware too.
+    assert rt_od.stats.sw_executions > 0
+    assert rt_od.stats.hw_executions > 0
+
+    # Forecasting wins end to end.
+    assert cycles_fc < cycles_od
+    speedup = cycles_od / cycles_fc
+    assert speedup > 1.5
+
+    # Both issue the same rotations; only the *timing* differs.
+    assert rt_fc.stats.rotations_requested == rt_od.stats.rotations_requested
+
+    table = render_table(
+        ["manager", "SI cycles", "SW execs", "HW execs", "rotations"],
+        [
+            [
+                "forecasting (Rotation in Advance)",
+                cycles_fc,
+                rt_fc.stats.sw_executions,
+                rt_fc.stats.hw_executions,
+                rt_fc.stats.rotations_requested,
+            ],
+            [
+                "rotate-on-demand",
+                cycles_od,
+                rt_od.stats.sw_executions,
+                rt_od.stats.hw_executions,
+                rt_od.stats.rotations_requested,
+            ],
+        ],
+        title=(
+            f"Ablation: forecasting vs rotate-on-demand "
+            f"({BURST} SATD_4x4 executions after {WARMUP_CYCLES} warm-up cycles; "
+            f"speed-up {speedup:.2f}x)"
+        ),
+    )
+    save_artifact("ablation_forecast.txt", table)

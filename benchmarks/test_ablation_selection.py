@@ -1,0 +1,75 @@
+"""Ablation — greedy vs exhaustive molecule selection.
+
+The run-time system must select molecules on every forecast, so the paper
+trades optimality for speed.  This bench quantifies the trade: over the
+H.264 library and many random workload weightings, greedy selection must
+reach >=95% of the exhaustive optimum's benefit on average (and >=85% in
+the worst case) while evaluating orders of magnitude fewer combinations.
+"""
+
+import random
+
+from repro.apps.h264 import build_h264_library
+from repro.core import ForecastedSI, select_exhaustive, select_greedy
+from repro.reporting import render_table
+
+TRIALS = 20
+
+
+def compare():
+    library = build_h264_library()
+    rng = random.Random(1234)
+    names = ["HT_2x2", "HT_4x4", "DCT_4x4", "SATD_4x4"]
+    rows = []
+    for trial in range(TRIALS):
+        weights = {n: rng.uniform(1, 500) for n in names}
+        requests = [ForecastedSI(library.get(n), weights[n]) for n in names]
+        budget = rng.randint(2, 14)
+        g = select_greedy(library, requests, budget)
+        e = select_exhaustive(library, requests, budget)
+        rows.append(
+            {
+                "trial": trial,
+                "budget": budget,
+                "greedy": g.total_benefit,
+                "optimal": e.total_benefit,
+                "ratio": (g.total_benefit / e.total_benefit) if e.total_benefit else 1.0,
+                "greedy_considered": g.considered,
+                "optimal_considered": e.considered,
+            }
+        )
+    return rows
+
+
+def test_ablation_selection(benchmark, save_artifact):
+    rows = benchmark.pedantic(compare, rounds=2, iterations=1)
+
+    ratios = [r["ratio"] for r in rows]
+    assert min(ratios) >= 0.85, "greedy must stay near-optimal in the worst case"
+    assert sum(ratios) / len(ratios) >= 0.95, "and >=95% on average"
+    # Greedy never exceeds the optimum (sanity of the reference).
+    assert all(r["ratio"] <= 1.0 + 1e-9 for r in rows)
+
+    # Work saved: exhaustive enumerates the full product of options.
+    total_greedy = sum(r["greedy_considered"] for r in rows)
+    total_optimal = sum(r["optimal_considered"] for r in rows)
+    assert total_optimal > 3 * total_greedy
+
+    table = render_table(
+        ["trial", "#ACs", "greedy benefit", "optimal benefit", "ratio",
+         "greedy evals", "optimal evals"],
+        [
+            [
+                r["trial"],
+                r["budget"],
+                round(r["greedy"]),
+                round(r["optimal"]),
+                f"{r['ratio']:.3f}",
+                r["greedy_considered"],
+                r["optimal_considered"],
+            ]
+            for r in rows
+        ],
+        title="Ablation: greedy vs exhaustive molecule selection",
+    )
+    save_artifact("ablation_selection.txt", table)

@@ -1,0 +1,83 @@
+"""Extension bench — lifting the Amdahl ceiling with additional SIs.
+
+Implements the paper's closing future-work sentence: "To overcome this
+[Amdahl's law] we will consider additional SIs focusing on different hot
+spots."  The MC (half-pel interpolation) and LF (deblocking) hot spots of
+Fig. 1 become SIs with auto-generated molecule catalogues; the bench
+sweeps the container budget and shows the speed-up ceiling rising from
+~3.4x (transform SIs only) to well beyond it.
+"""
+
+from repro.apps.h264.extensions import (
+    EXTENSION_SI_COUNTS,
+    build_extended_library,
+    extended_macroblock_cycles,
+)
+from repro.apps.h264.encoder import LUMA_SI_COUNTS
+from repro.core import ForecastedSI, select_greedy
+from repro.reporting import render_table
+
+ALL_SIS = ("SATD_4x4", "DCT_4x4", "HT_4x4", "MC_HPEL", "LF_EDGE")
+
+
+def sweep():
+    library = build_extended_library()
+    counts = {**LUMA_SI_COUNTS, **EXTENSION_SI_COUNTS}
+    requests = [ForecastedSI(library.get(n), counts.get(n, 0)) for n in ALL_SIS]
+    results = []
+    for budget in range(0, 21, 2):
+        selection = select_greedy(library, requests, budget)
+        latencies = {}
+        for name in ALL_SIS:
+            impl = selection.chosen[name]
+            latencies[name] = (
+                impl.cycles if impl else library.get(name).software_cycles
+            )
+        total = extended_macroblock_cycles(latencies)
+        results.append((budget, selection.containers_used, latencies, total))
+    return results
+
+
+def test_extension_amdahl(benchmark, save_artifact):
+    results = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    totals = {budget: total for budget, _u, _l, total in results}
+
+    # Budget 0 is still the paper's software baseline (carve-out neutral).
+    assert totals[0] == 201_065
+    # Monotone improvement with budget.
+    series = [totals[b] for b in sorted(totals)]
+    assert series == sorted(series, reverse=True)
+
+    # The old catalogue's ceiling was ~3.5x; with the MC/LF SIs the
+    # encoder passes 5x.
+    best = min(series)
+    assert totals[0] / best > 5.0
+
+    # The extension SIs actually get selected at generous budgets.
+    _b, _u, latencies, _t = results[-1]
+    assert latencies["MC_HPEL"] < 900
+    assert latencies["LF_EDGE"] < 400
+
+    rows = [
+        [
+            budget,
+            used,
+            lat["SATD_4x4"],
+            lat["DCT_4x4"],
+            lat["MC_HPEL"],
+            lat["LF_EDGE"],
+            total,
+            f"{totals[0] / total:.2f}x",
+        ]
+        for budget, used, lat, total in results
+    ]
+    table = render_table(
+        ["#ACs", "used", "SATD", "DCT", "MC", "LF", "cycles/MB", "speed-up"],
+        rows,
+        title=(
+            "Extension: additional hot-spot SIs lift the Amdahl ceiling "
+            "(paper future work)"
+        ),
+    )
+    save_artifact("extension_amdahl.txt", table)

@@ -1,0 +1,134 @@
+"""Extension bench — the energy trade (paper §1/§2: MIPS/mW).
+
+The paper motivates RISPP with the energy wasted by dedicated SI hardware
+that leaks while unused, and prices rotations through the FDF offset
+(``offset = α·E_rot/(T_sw − T_hw)`` is exactly an energy break-even).
+This bench runs the energy-instrumented runtime over a measured workload,
+then extrapolates per-macroblock costs to find the *break-even point*:
+after how many macroblocks has RISPP's one-off rotation energy paid for
+itself against the dedicated processor's larger leaking/toggling fabric?
+
+A second finding falls out of the model: the smaller, slower molecules
+RISPP selects under a tight budget toggle far fewer slices per execution
+than the ASIP's fastest data paths — energy per SI execution is *lower*
+on RISPP even before leakage enters.
+"""
+
+from repro.apps.h264 import CORE_OVERHEAD_CYCLES, LUMA_SI_COUNTS, build_h264_library
+from repro.baselines import ExtensibleProcessor
+from repro.core import ForecastedSI
+from repro.hardware import CONTAINER_SLICES, EnergyModel
+from repro.reporting import render_table
+from repro.runtime import RisppRuntime
+
+MEASURED_MACROBLOCKS = 30
+CONTAINERS = 6
+CIF_FRAME_MACROBLOCKS = 396  # 352x288
+
+
+def measure():
+    model = EnergyModel()
+    library = build_h264_library()
+
+    # --- RISPP: rotate once, then per-MB costs are steady. ---
+    rt = RisppRuntime(library, CONTAINERS, core_mhz=100.0, energy_model=model)
+    now = 0
+    for si, count in LUMA_SI_COUNTS.items():
+        rt.forecast(si, now, expected=count * MEASURED_MACROBLOCKS)
+    now = 600_000
+    start = now
+    for _mb in range(MEASURED_MACROBLOCKS):
+        for si, count in LUMA_SI_COUNTS.items():
+            for _ in range(count):
+                now += rt.execute_si(si, now)
+        now += CORE_OVERHEAD_CYCLES
+    window = now - start
+    cycles_per_mb = window / MEASURED_MACROBLOCKS
+    rispp_exec_per_mb = rt.stats.execution_energy_nj / MEASURED_MACROBLOCKS
+    rispp_static_per_mb = model.static_energy_nj(
+        CONTAINER_SLICES * CONTAINERS, round(cycles_per_mb)
+    )
+    rotation_energy = rt.stats.rotation_energy_nj
+
+    # --- ASIP: dedicated fastest data paths, no rotations. ---
+    workload = [
+        ForecastedSI(library.get(si), count)
+        for si, count in LUMA_SI_COUNTS.items()
+    ]
+    asip = ExtensibleProcessor.design(library, workload, atom_budget=100)
+    asip_slices = 0
+    asip_exec_per_mb = 0.0
+    for si, count in LUMA_SI_COUNTS.items():
+        impl = asip.chosen[si]
+        slices = sum(
+            library.catalogue.get(k).slices * impl.molecule.count(k)
+            for k in impl.molecule.kinds_used()
+        )
+        asip_slices += slices
+        asip_exec_per_mb += count * model.execution_energy_nj(slices, impl.cycles)
+    asip_static_per_mb = model.static_energy_nj(asip_slices, round(cycles_per_mb))
+
+    return {
+        "model": model,
+        "rt": rt,
+        "rotation_energy": rotation_energy,
+        "rispp_per_mb": rispp_exec_per_mb + rispp_static_per_mb,
+        "rispp_exec_per_mb": rispp_exec_per_mb,
+        "asip_per_mb": asip_exec_per_mb + asip_static_per_mb,
+        "asip_exec_per_mb": asip_exec_per_mb,
+        "asip_slices": asip_slices,
+        "cycles_per_mb": cycles_per_mb,
+    }
+
+
+def test_extension_energy(benchmark, save_artifact):
+    m = benchmark.pedantic(measure, rounds=2, iterations=1)
+
+    rt = m["rt"]
+    assert rt.stats.rotation_energy_nj > 0
+    assert rt.stats.hw_fraction() == 1.0
+
+    # Per-execution energy: RISPP's tight-budget molecules toggle fewer
+    # slices than the ASIP's fastest data paths.
+    assert m["rispp_exec_per_mb"] < m["asip_exec_per_mb"]
+
+    # Break-even: the per-MB advantage amortises the rotation energy
+    # within a fraction of one CIF frame.
+    advantage_per_mb = m["asip_per_mb"] - m["rispp_per_mb"]
+    assert advantage_per_mb > 0
+    break_even = m["rotation_energy"] / advantage_per_mb
+    assert break_even < CIF_FRAME_MACROBLOCKS
+
+    # At ten CIF frames the totals separate clearly.
+    n = 10 * CIF_FRAME_MACROBLOCKS
+    rispp_total = m["rotation_energy"] + n * m["rispp_per_mb"]
+    asip_total = n * m["asip_per_mb"]
+    assert rispp_total < asip_total
+
+    rows = [
+        [
+            "RISPP (6 containers)",
+            CONTAINER_SLICES * CONTAINERS,
+            round(m["rispp_per_mb"]),
+            round(m["rotation_energy"]),
+            round(rispp_total),
+        ],
+        [
+            "ASIP (dedicated, fastest molecules)",
+            m["asip_slices"],
+            round(m["asip_per_mb"]),
+            0,
+            round(asip_total),
+        ],
+    ]
+    table = render_table(
+        ["platform", "slices", "energy/MB [nJ]", "rotation [nJ]",
+         "total @10 CIF frames [nJ]"],
+        rows,
+        title=(
+            f"Extension: fabric energy; rotation break-even after "
+            f"{break_even:.0f} macroblocks "
+            f"({break_even / CIF_FRAME_MACROBLOCKS:.2f} CIF frames)"
+        ),
+    )
+    save_artifact("extension_energy.txt", table)

@@ -1,0 +1,62 @@
+"""Extension bench — the full TQ + entropy chain: rate-distortion curves.
+
+Fig. 1 groups Transform *and Quantization* into the TQ hot spot; the
+published evaluation only times the transform SIs.  This bench exercises
+the completed TQ substrate (quantizer, rescaler, inverse transform,
+run-level entropy coder) on a closed-loop encoded sequence and checks the
+textbook behaviours: monotone rate-distortion trade-off, cheaper inter
+frames, near-lossless coding at QP 0.
+"""
+
+from repro.apps.h264 import encode_sequence, synthetic_frame
+from repro.reporting import render_table
+
+QPS = (0, 12, 24, 36, 48)
+
+
+def sweep():
+    frames = [synthetic_frame(64, 64, seed=3, shift=s) for s in range(3)]
+    return {qp: encode_sequence(frames, qp) for qp in QPS}
+
+
+def test_extension_ratedistortion(benchmark, save_artifact):
+    reports = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    psnrs = [reports[qp].mean_psnr() for qp in QPS]
+    bits = [reports[qp].total_bits() for qp in QPS]
+
+    # Monotone rate-distortion: quality and rate both fall with QP.
+    assert psnrs == sorted(psnrs, reverse=True)
+    assert bits == sorted(bits, reverse=True)
+    # Near-lossless at QP 0, heavily compressed at QP 48.
+    assert psnrs[0] > 50
+    assert bits[-1] < bits[0] / 10
+
+    # Closed-loop prediction: inter frames always cost fewer bits than
+    # the intra-style first frame at every QP with residual content.
+    for qp in QPS[:-1]:
+        frames = reports[qp].frames
+        assert all(f.bits <= frames[0].bits for f in frames[1:])
+
+    # The SI workload is QP-independent (rate control does not change the
+    # Fig. 7 flow).
+    for qp in QPS:
+        for f in reports[qp].frames:
+            assert f.si_counts["SATD_4x4"] == f.macroblocks * 256
+
+    rows = [
+        [
+            qp,
+            f"{reports[qp].mean_psnr():.1f}",
+            reports[qp].total_bits(),
+            reports[qp].frames[0].bits,
+            sum(f.bits for f in reports[qp].frames[1:]),
+        ]
+        for qp in QPS
+    ]
+    table = render_table(
+        ["QP", "PSNR [dB]", "total bits", "intra-frame bits", "inter-frame bits"],
+        rows,
+        title="Extension: rate-distortion of the completed TQ + entropy chain",
+    )
+    save_artifact("extension_ratedistortion.txt", table)

@@ -1,0 +1,110 @@
+"""Extension bench — automatic SI identification and generation.
+
+The paper designs its SIs manually and defers automation to related work
+("similar to [17] or [18]").  This bench runs the implemented flow on the
+scalar inner loop of SATD: enumerate convex candidates under register-
+port constraints, emit the best one as a rotatable SI with an
+auto-generated molecule catalogue, and check the result holds up against
+the hand-designed SATD_4x4 in speed-up and trade-off richness.
+"""
+
+from repro.compiler import (
+    Constraints,
+    Operation,
+    OperationGraph,
+    enumerate_si_candidates,
+    si_from_candidate,
+)
+from repro.core import pareto_front_of
+from repro.reporting import render_table
+
+
+def satd_row_graph() -> OperationGraph:
+    ops = [
+        Operation("d0", "sub", ("%a0", "%b0"), latency=2),
+        Operation("d1", "sub", ("%a1", "%b1"), latency=2),
+        Operation("d2", "sub", ("%a2", "%b2"), latency=2),
+        Operation("d3", "sub", ("%a3", "%b3"), latency=2),
+        Operation("e0", "add", ("d0", "d3"), latency=2),
+        Operation("e1", "add", ("d1", "d2"), latency=2),
+        Operation("e2", "sub", ("d1", "d2"), latency=2),
+        Operation("e3", "sub", ("d0", "d3"), latency=2),
+        Operation("y0", "add", ("e0", "e1"), latency=2),
+        Operation("y1", "add", ("e3", "e2"), latency=2),
+        Operation("y2", "sub", ("e0", "e1"), latency=2),
+        Operation("y3", "sub", ("e3", "e2"), latency=2),
+        Operation("m0", "abs", ("y0",), latency=2),
+        Operation("m1", "abs", ("y1",), latency=2),
+        Operation("m2", "abs", ("y2",), latency=2),
+        Operation("m3", "abs", ("y3",), latency=2),
+        Operation("s0", "add", ("m0", "m1"), latency=2),
+        Operation("s1", "add", ("m2", "m3"), latency=2),
+        Operation("sum", "add", ("s0", "s1"), latency=2),
+    ]
+    return OperationGraph(ops, live_outs=("sum",))
+
+
+CONSTRAINTS = Constraints(
+    max_inputs=8, max_outputs=2, max_ops=20, io_overhead_cycles=2
+)
+
+
+def run_flow():
+    graph = satd_row_graph()
+    candidates = enumerate_si_candidates(
+        graph, CONSTRAINTS, max_candidates=200_000
+    )
+    best = candidates[0]
+    si, catalogue, report = si_from_candidate(
+        "SATD_ROW", graph, best, counts_allowed=(1, 2, 4)
+    )
+    return graph, candidates, best, si, catalogue, report
+
+
+def test_extension_si_identification(benchmark, save_artifact):
+    graph, candidates, best, si, catalogue, report = benchmark.pedantic(
+        run_flow, rounds=2, iterations=1
+    )
+
+    # Enumeration finds many legal candidates, all convex + profitable.
+    assert len(candidates) > 100
+    for c in candidates[:50]:
+        assert graph.is_convex(c.ops)
+        assert c.saved_cycles > 0
+        assert len(c.inputs) <= CONSTRAINTS.max_inputs
+        assert len(c.outputs) <= CONSTRAINTS.max_outputs
+
+    # The top candidate covers the whole kernel.
+    assert len(best) == len(graph)
+    assert best.speedup > 4
+
+    # Emission produced a usable SI: multiple molecules on a clean front,
+    # atom kinds shared across operation classes (add+sub -> AddSub).
+    assert set(k.name for k in catalogue) == {"AddSub", "AbsAcc"}
+    assert report.kept == len(si.implementations) >= 4
+    front = pareto_front_of(si)
+    assert len(front) >= 3
+    for a, b in zip(front, front[1:]):
+        assert b.atoms > a.atoms and b.cycles < a.cycles
+
+    # Quality: the auto-generated SI reaches a hand-design-class speed-up
+    # at its fastest molecule (the manual SATD_4x4 achieves ~45x from a
+    # much larger software baseline; per-row the bound is the dataflow
+    # depth).
+    assert si.max_expected_speedup() > 5
+
+    rows = [
+        [impl.label, impl.atoms(), impl.cycles,
+         f"{si.software_cycles / impl.cycles:.1f}x"]
+        for impl in si.implementations
+    ]
+    table = render_table(
+        ["molecule", "atoms", "cycles", "speed-up"],
+        rows,
+        title=(
+            f"Auto-identified SATD_ROW: {len(candidates)} candidates, "
+            f"best covers {len(best)} ops "
+            f"({best.software_cycles} -> {best.hardware_cycles} cycles)"
+        ),
+    )
+    save_artifact("extension_si_identification.txt", table)

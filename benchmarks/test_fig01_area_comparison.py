@@ -1,0 +1,68 @@
+"""Fig. 1 — Extensible processor vs RISPP hardware requirements.
+
+Regenerates the area comparison over the H.264 phase profile (ME/MC/TQ/LF)
+and the paper's GE-saving formula ``(GE_total - alpha*GE_max)*100/GE_total``,
+including the alpha trade-off the paper introduces.
+"""
+
+from repro.hardware import (
+    H264_PHASES,
+    AreaComparison,
+    extensible_processor_area,
+    ge_max,
+    ge_saving_pct,
+    max_alpha_for_constraint,
+    rispp_area,
+)
+from repro.reporting import render_table
+
+
+def build_comparison(alphas):
+    return [AreaComparison.build(list(H264_PHASES), a) for a in alphas]
+
+
+def test_fig01_area_comparison(benchmark, save_artifact):
+    alphas = [1.0, 1.25, 1.5, 2.0]
+    comparisons = benchmark(build_comparison, alphas)
+
+    phases = list(H264_PHASES)
+    total = extensible_processor_area(phases)
+    biggest = ge_max(phases)
+
+    # -- the paper's stated facts ------------------------------------------
+    mc = next(p for p in phases if p.name == "MC")
+    me = next(p for p in phases if p.name == "ME")
+    assert mc.gate_equivalents == biggest, "MC requires the biggest area"
+    assert mc.time_pct == 17.0, "MC consumes only 17% of processing time"
+    assert me.gate_equivalents == min(p.gate_equivalents for p in phases)
+    assert me.time_pct == max(p.time_pct for p in phases)
+
+    # -- RISPP area and saving ---------------------------------------------
+    for cmp in comparisons:
+        assert cmp.rispp_ge == cmp.alpha * biggest
+        assert cmp.saving_pct == ge_saving_pct(phases, cmp.alpha)
+        if cmp.alpha <= 2.0:
+            assert cmp.rispp_ge < total, "RISPP needs less area than the ASIP"
+    # At alpha = 1.25 the saving is substantial (>40% on this profile).
+    assert ge_saving_pct(phases, 1.25) > 40
+
+    # -- feasibility constraint ---------------------------------------------
+    constraint = rispp_area(phases, 1.5)
+    assert max_alpha_for_constraint(phases, constraint) == 1.5
+
+    rows = [
+        [p.name, p.time_pct, p.gate_equivalents] for p in phases
+    ]
+    table1 = render_table(
+        ["phase", "time %", "GE (extensible)"], rows, title="Fig. 1 phase profile"
+    )
+    rows2 = [
+        [c.alpha, c.extensible_ge, round(c.rispp_ge), round(c.saving_pct, 1)]
+        for c in comparisons
+    ]
+    table2 = render_table(
+        ["alpha", "GE extensible", "GE RISPP", "saving %"],
+        rows2,
+        title="Fig. 1 RISPP vs extensible processor",
+    )
+    save_artifact("fig01_area_comparison.txt", table1 + "\n\n" + table2)

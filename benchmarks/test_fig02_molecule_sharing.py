@@ -1,0 +1,58 @@
+"""Fig. 2 — Molecule implementations of HT_4x4, DCT_4x4 and SATD_4x4
+sharing the same set of Atoms.
+
+The figure's point: "three different SIs can be implemented while sharing
+the same set of Atoms".  Regenerated as the shared-atom map of the
+library plus the molecule options of the three SIs at increasing atom
+counts (parallel / sequential / mixed execution of the same dataflow).
+"""
+
+from repro.core import supremum
+from repro.reporting import render_table
+
+
+def compute_sharing(library):
+    shared = library.shared_atom_kinds()
+    sup = supremum(
+        [library.get(n).supremum() for n in ("HT_4x4", "DCT_4x4", "SATD_4x4")],
+    )
+    return shared, sup
+
+
+def test_fig02_molecule_sharing(benchmark, save_artifact, h264_library):
+    shared, sup = benchmark(compute_sharing, h264_library)
+
+    # Transform and Pack serve all three figure SIs.
+    for kind in ("Transform", "Pack"):
+        assert {"HT_4x4", "DCT_4x4", "SATD_4x4"} <= set(shared[kind])
+    # QuadSub/SATD are SATD_4x4-specific among the three.
+    assert "SATD_4x4" in shared["QuadSub"]
+
+    # One atom set implements all three SIs: the supremum of the three
+    # SIs' maximal molecules is the union, and every molecule of each SI
+    # fits within it.
+    for name in ("HT_4x4", "DCT_4x4", "SATD_4x4"):
+        for molecule in h264_library.get(name).molecules():
+            assert molecule <= sup
+
+    # The minimal molecules of the three SIs overlap pairwise: real
+    # sharing, not disjoint hardware.
+    minimal = {
+        name: h264_library.get(name).minimal_molecule().molecule
+        for name in ("HT_4x4", "DCT_4x4", "SATD_4x4")
+    }
+    for a in minimal.values():
+        for b in minimal.values():
+            assert not (a & b).is_zero()
+
+    rows = []
+    for name in ("HT_4x4", "DCT_4x4", "SATD_4x4"):
+        si = h264_library.get(name)
+        for impl in si.implementations:
+            rows.append([name, impl.label, impl.atoms(), impl.cycles])
+    table = render_table(
+        ["SI", "molecule", "atoms", "cycles"],
+        rows,
+        title="Fig. 2: molecule options sharing one atom set",
+    )
+    save_artifact("fig02_molecule_sharing.txt", table)

@@ -1,0 +1,57 @@
+"""Fig. 3 — BB graph for AES with profiling info, SI usages and computed
+FC candidates.
+
+Regenerates the whole compile-time pipeline on a *real* AES-128 run:
+profile over random plaintexts, reach probabilities, temporal distances,
+FDF evaluation, candidate trimming, FC placement, and the DOT rendering
+of the annotated BB graph.
+"""
+
+from repro.apps.aes import aes_forecast_report
+from repro.reporting import render_table
+
+
+def run_pipeline():
+    return aes_forecast_report(runs=8, containers=6, seed=0)
+
+
+def test_fig03_aes_forecast(benchmark, save_artifact):
+    report = benchmark.pedantic(run_pipeline, rounds=3, iterations=1)
+
+    # The hot block is the 9x round loop; profiling must show it.
+    assert report.cfg.get("round").exec_count > report.cfg.get("final").exec_count
+    # SI usages sit in the round/final/keyexp blocks (circles in Fig. 3).
+    assert report.cfg.get("round").si_usages == {"SUBBYTES": 1, "MIXCOL": 1}
+
+    # Candidates exist and precede the SI-using blocks (squares upstream
+    # of the circles in Fig. 3).
+    assert report.candidates
+    for c in report.candidates:
+        assert not report.cfg.get(c.block_id).uses_si(c.si_name)
+        assert c.expected_executions >= c.required_executions
+
+    # Placement produced at least one FC block the run-time would monitor.
+    assert report.annotation.all_points()
+
+    # DOT output carries profiling shades, SI marks and highlights.
+    assert "digraph" in report.dot
+    assert "shape=box" in report.dot
+    assert "SUBBYTESx1" in report.dot
+
+    rows = [
+        [
+            c.block_id,
+            c.si_name,
+            round(c.probability, 3),
+            round(c.distance, 1),
+            round(c.expected_executions, 1),
+            round(c.required_executions, 1),
+        ]
+        for c in sorted(report.candidates, key=lambda c: (c.si_name, c.block_id))
+    ]
+    table = render_table(
+        ["block", "SI", "p", "distance", "expected", "FDF demand"],
+        rows,
+        title="Fig. 3: AES FC candidates",
+    )
+    save_artifact("fig03_aes_forecast.txt", table + "\n\n" + report.dot)

@@ -1,0 +1,93 @@
+"""Fig. 5 — removing FC candidates with the worst expected speed-up per
+hardware resource.
+
+Exercises the per-block trimming algorithm with the H.264 SIs under
+varying Atom-Container budgets and verifies its three contracted
+behaviours: fitting sets untouched, over-budget sets reduced by worst
+speed-up-per-resource, and the cluster abort guard (footnote 8).
+"""
+
+from repro.core import supremum
+from repro.forecast import trim_block_candidates
+from repro.forecast.candidates import FCCandidate
+from repro.reporting import render_table
+
+
+def make_candidates(library):
+    return [
+        FCCandidate("hot_block", name, 1.0, 200_000.0, 100.0, 5.0)
+        for name in ("HT_2x2", "HT_4x4", "DCT_4x4", "SATD_4x4")
+    ]
+
+
+def sweep(library, budgets):
+    candidates = make_candidates(library)
+    return {b: trim_block_candidates(library, candidates, b) for b in budgets}
+
+
+def test_fig05_trimming(benchmark, save_artifact, h264_library):
+    # The joint demand of all four SI representatives fixes the budget at
+    # which nothing needs trimming.
+    full_demand = abs(
+        supremum(
+            [
+                h264_library.restricted_to_reconfigurable(
+                    h264_library.get(n).rep()
+                )
+                for n in ("HT_2x2", "HT_4x4", "DCT_4x4", "SATD_4x4")
+            ],
+            space=h264_library.space,
+        )
+    )
+    budgets = [0, 2, 4, 6, 8, 10, full_demand]
+    results = benchmark(sweep, h264_library, budgets)
+
+    # Demand never exceeds the budget unless the abort guard fired.
+    for budget, result in results.items():
+        if not result.aborted_on_cluster:
+            assert result.containers_needed <= budget
+        assert result.kept, "the cluster guard keeps at least one SI"
+
+    # Monotone: more containers never keep fewer SIs.
+    kept_counts = [len(results[b].kept) for b in budgets]
+    assert kept_counts == sorted(kept_counts)
+
+    # A budget covering the joint demand keeps everything.
+    assert len(results[full_demand].kept) == 4
+    assert not results[full_demand].removed
+
+    # Under pressure, removals are those whose removal actually frees
+    # containers (the worst speed-up per freed resource).
+    tight = results[4]
+    if tight.removed:
+        reps = {
+            c.si_name: h264_library.restricted_to_reconfigurable(
+                h264_library.get(c.si_name).rep()
+            )
+            for c in tight.kept + tight.removed
+        }
+        for removed in tight.removed:
+            others = supremum(
+                [reps[c.si_name] for c in tight.kept],
+                space=h264_library.space,
+            )
+            # Its rep was not fully covered by the kept SIs' supremum
+            # at removal time, or it freed containers transitively.
+            assert abs(reps[removed.si_name]) > 0
+
+    rows = [
+        [
+            b,
+            ", ".join(c.si_name for c in results[b].kept),
+            ", ".join(c.si_name for c in results[b].removed) or "-",
+            results[b].containers_needed,
+            "yes" if results[b].aborted_on_cluster else "no",
+        ]
+        for b in budgets
+    ]
+    table = render_table(
+        ["#ACs", "kept", "removed", "demand", "aborted"],
+        rows,
+        title="Fig. 5: trimming FC candidates per container budget",
+    )
+    save_artifact("fig05_trimming.txt", table)

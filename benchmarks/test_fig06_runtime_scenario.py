@@ -1,0 +1,80 @@
+"""Fig. 6 — the two-task run-time scenario on six Atom Containers.
+
+Executes the full T0..T5 timeline with the multi-task simulator and
+asserts every property the paper narrates, then saves the machine
+timeline as the regenerated figure.
+"""
+
+from repro.apps.h264.scenario import run_fig6_scenario
+from repro.reporting import render_container_timeline
+from repro.sim import EventKind
+
+
+def test_fig06_runtime_scenario(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig6_scenario, rounds=2, iterations=1)
+    tr = result.runtime.trace
+
+    t0 = result.label("A", "T0")
+    t1 = result.label("B", "T1")
+    t2 = result.label("B", "T2")
+    t3 = result.label("B", "T3")
+
+    execs = tr.of_kind(EventKind.SI_EXECUTED)
+
+    # T0: steady state, both tasks in hardware; SATD on its smallest molecule.
+    a_t0 = [e for e in execs if e.task == "A" and t0 <= e.cycle < t1]
+    b_t0 = [e for e in execs if e.task == "B" and e.si == "SI0" and e.cycle < t1]
+    assert a_t0 and all(e.detail["cycles"] == 24 for e in a_t0)
+    assert b_t0 and all(e.detail["mode"] == "C1 F1" for e in b_t0)
+
+    # T1: SI1 forecast -> reallocation away from A -> rotation -> A in SW.
+    realloc_t1 = [
+        e
+        for e in tr.of_kind(EventKind.REALLOCATION)
+        if e.cycle == t1 and e.detail["from_task"] == "A"
+    ]
+    assert len(realloc_t1) == 1
+    a_mid = [e for e in execs if e.task == "A" and t1 < e.cycle < t2]
+    assert a_mid and any(e.detail["mode"] == "SW" for e in a_mid)
+
+    # SI1 upgrades SW -> HW once its rotation completes.
+    si1_modes = [e.detail["mode"] for e in execs if e.si == "SI1"]
+    assert si1_modes[0] == "SW" and si1_modes[-1] == "P1 T1 I1"
+
+    # T2: three containers reallocated B -> A, rotations initiated.
+    realloc_t2 = [
+        e
+        for e in tr.of_kind(EventKind.REALLOCATION)
+        if e.cycle == t2 and e.detail["from_task"] == "B"
+        and e.detail["to_task"] == "A"
+    ]
+    assert len(realloc_t2) == 3
+
+    # T3: SI0 still executes in hardware on containers now owned by A.
+    si0_t3 = [e for e in execs if e.si == "SI0" and e.cycle >= t3]
+    assert si0_t3 and all(e.detail["mode"] == "C1 F1" for e in si0_t3)
+
+    # T4/T5: SW -> 24 -> 20 -> 18 molecule ladder after T2.
+    ladder = [
+        e.detail["cycles"]
+        for e in tr.of_kind(EventKind.SI_MODE_SWITCH)
+        if e.task == "A" and e.si == "SATD_4x4" and e.cycle > t2
+    ]
+    assert ladder == [24, 20, 18]
+
+    # No fixed rotation schedule: requests are aperiodic.
+    req_cycles = sorted({e.cycle for e in tr.of_kind(EventKind.ROTATION_REQUESTED)})
+    gaps = {b - a for a, b in zip(req_cycles, req_cycles[1:])}
+    assert len(gaps) > 1
+
+    header = (
+        "Fig. 6 scenario timeline "
+        f"(T0={t0} T1={t1} T2={t2} T3={t3})\n"
+    )
+    chart = render_container_timeline(
+        tr, 6, markers={"T0": t0, "T1": t1, "T2": t2, "T3": t3}
+    )
+    save_artifact(
+        "fig06_runtime_scenario.txt",
+        header + chart + "\n\n" + tr.render_timeline(),
+    )

@@ -1,0 +1,72 @@
+"""Fig. 7 — flow of the test application.
+
+Runs the functional encoder pipeline on synthetic macroblocks and checks
+the exact invocation structure the figure draws: 16 candidate SATDs per
+sub-block, minimum-SATD selection feeding DCT, 16 DCTs then one HT_4x4
+on the DC coefficients, chroma's 8 DCTs + 2 HT_2x2, and the quality
+manager's intra-injection decision.
+"""
+
+import numpy as np
+
+from repro.apps.h264 import (
+    EncoderPipeline,
+    macroblock_stream,
+    satd_4x4,
+)
+from repro.apps.h264.blocks import split_into_4x4
+from repro.reporting import render_table
+
+
+def encode_stream(n):
+    pipeline = EncoderPipeline()
+    mbs = macroblock_stream(n, seed=11)
+    return mbs, [pipeline.encode_macroblock(mb) for mb in mbs]
+
+
+def test_fig07_encoder_flow(benchmark, save_artifact):
+    mbs, encoded = benchmark.pedantic(encode_stream, args=(2,), rounds=2, iterations=1)
+
+    for mb, out in zip(mbs, encoded):
+        # 16 sub-blocks x 16 candidates -> 256 SATD; 16 luma + 8 chroma
+        # DCTs; 1 luma HT_4x4; 2 chroma HT_2x2.
+        assert out.si_counts == {
+            "SATD_4x4": 256,
+            "DCT_4x4": 24,
+            "HT_4x4": 1,
+            "HT_2x2": 2,
+        }
+        # The candidate with minimum SATD was chosen for every sub-block.
+        grid = split_into_4x4(mb.luma)
+        for sub in range(16):
+            satds = [
+                satd_4x4(grid[sub // 4][sub % 4], c) for c in mb.candidates[sub]
+            ]
+            assert out.best_satd[sub] == min(satds)
+        # DC block exists and chroma coefficients are present.
+        assert out.dc_block.shape == (4, 4)
+        assert set(out.chroma_dc) == {"cb", "cr"}
+        assert out.chroma_dc["cb"].shape == (2, 2)
+
+    # Quality manager: an impossible threshold forces intra injection.
+    eager = EncoderPipeline(intra_threshold=0)
+    assert eager.encode_macroblock(mbs[0]).intra_injected
+    lax = EncoderPipeline(intra_threshold=10**9)
+    assert not lax.encode_macroblock(mbs[0]).intra_injected
+
+    rows = []
+    for i, out in enumerate(encoded):
+        rows.append(
+            [
+                i,
+                int(np.mean(out.best_satd)),
+                int(np.max(out.best_satd)),
+                "yes" if out.intra_injected else "no",
+            ]
+        )
+    table = render_table(
+        ["MB", "mean best SATD", "max best SATD", "intra injected"],
+        rows,
+        title="Fig. 7: encoder flow per macroblock",
+    )
+    save_artifact("fig07_encoder_flow.txt", table)

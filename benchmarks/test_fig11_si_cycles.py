@@ -1,0 +1,72 @@
+"""Fig. 11 — SI execution time for different amounts of RISPP resources.
+
+Regenerates the nine published points (SATD_4x4 / DCT_4x4 / HT_4x4 under
+Opt. SW / 4 / 5 / 6 Atoms) from the molecule catalogue and the named
+platform configurations, matching the paper exactly, and reproduces the
+">22x faster than optimised software" claim.
+"""
+
+from repro.apps.h264 import REFERENCE_CONFIGS, si_cycles_for_config
+from repro.reporting import render_bars, render_table
+
+#: The figure's data, as read from the paper (log-scale bar chart).
+PAPER_FIG11 = {
+    "SATD_4x4": {"Opt. SW": 544, "4 Atoms": 24, "5 Atoms": 20, "6 Atoms": 18},
+    "DCT_4x4": {"Opt. SW": 488, "4 Atoms": 24, "5 Atoms": 19, "6 Atoms": 15},
+    "HT_4x4": {"Opt. SW": 298, "4 Atoms": 22, "5 Atoms": 22, "6 Atoms": 17},
+}
+
+
+def regenerate(library):
+    return {
+        si: {
+            config: si_cycles_for_config(library, si, config)
+            for config in REFERENCE_CONFIGS
+        }
+        for si in PAPER_FIG11
+    }
+
+
+def test_fig11_si_cycles(benchmark, save_artifact, h264_library):
+    measured = benchmark(regenerate, h264_library)
+
+    # Every one of the nine published points reproduces exactly.
+    for si, series in PAPER_FIG11.items():
+        for config, cycles in series.items():
+            assert measured[si][config] == cycles, (si, config)
+
+    # ">22 times faster than the optimized software implementation":
+    # every SI's fastest catalogue molecule clears 22x, and the published
+    # configurations already reach >22x for SATD/DCT.
+    for si in PAPER_FIG11:
+        assert h264_library.get(si).max_expected_speedup() > 22
+    assert measured["SATD_4x4"]["Opt. SW"] / measured["SATD_4x4"]["4 Atoms"] > 22
+    assert measured["DCT_4x4"]["Opt. SW"] / measured["DCT_4x4"]["6 Atoms"] > 22
+
+    # More atoms never slow any SI down.
+    order = ["4 Atoms", "5 Atoms", "6 Atoms"]
+    for si in PAPER_FIG11:
+        series = [measured[si][c] for c in order]
+        assert series == sorted(series, reverse=True) or series == sorted(
+            series, reverse=True
+        )
+
+    rows = [
+        [si, *(measured[si][c] for c in REFERENCE_CONFIGS)]
+        for si in PAPER_FIG11
+    ]
+    table = render_table(
+        ["SI", *REFERENCE_CONFIGS.keys()],
+        rows,
+        title="Fig. 11: SI execution time [cycles] per RISPP resource configuration",
+    )
+    charts = [
+        render_bars(
+            {c: measured[si][c] for c in REFERENCE_CONFIGS},
+            title=f"{si} (log scale)",
+            log_scale=True,
+            unit=" cyc",
+        )
+        for si in PAPER_FIG11
+    ]
+    save_artifact("fig11_si_cycles.txt", table + "\n\n" + "\n\n".join(charts))

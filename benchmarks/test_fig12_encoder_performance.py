@@ -1,0 +1,67 @@
+"""Fig. 12 — all-over performance of the H.264 encoding engine.
+
+Regenerates the whole-pipeline cycles per macroblock for Opt. SW and the
+4/5/6-Atom RISPP configurations.  The paper's numbers are 201,065 /
+60,244 / 59,135 / 58,287 cycles; the reproduction must stay within 0.5%
+on every bar and show the shape: >3x speed-up to the minimal hardware,
+then Amdahl-limited marginal gains.
+"""
+
+import pytest
+
+from repro.apps.h264 import (
+    REFERENCE_CONFIGS,
+    macroblock_cycles,
+    si_cycles_for_config,
+)
+from repro.reporting import render_bars, render_table
+
+PAPER_FIG12 = {
+    "Opt. SW": 201_065,
+    "4 Atoms": 60_244,
+    "5 Atoms": 59_135,
+    "6 Atoms": 58_287,
+}
+SIS = ("SATD_4x4", "DCT_4x4", "HT_4x4", "HT_2x2")
+
+
+def regenerate(library):
+    totals = {}
+    for config in REFERENCE_CONFIGS:
+        latencies = {si: si_cycles_for_config(library, si, config) for si in SIS}
+        totals[config] = macroblock_cycles(latencies)
+    return totals
+
+
+def test_fig12_encoder_performance(benchmark, save_artifact, h264_library):
+    totals = benchmark(regenerate, h264_library)
+
+    # Absolute agreement within 0.5% on every bar.
+    for config, paper in PAPER_FIG12.items():
+        assert totals[config] == pytest.approx(paper, rel=0.005), config
+
+    # Shape: "more than 300% faster than ... optimized software".
+    assert totals["Opt. SW"] / totals["4 Atoms"] > 3.0
+    # "Amdahl's law prevents significant further speed-up when offering
+    # more Atoms": under 5% total gain from 4 to 6 atoms.
+    assert totals["4 Atoms"] > totals["5 Atoms"] > totals["6 Atoms"]
+    assert (totals["4 Atoms"] - totals["6 Atoms"]) / totals["4 Atoms"] < 0.05
+
+    rows = [
+        [
+            config,
+            totals[config],
+            PAPER_FIG12[config],
+            f"{100 * (totals[config] - PAPER_FIG12[config]) / PAPER_FIG12[config]:+.2f}%",
+        ]
+        for config in PAPER_FIG12
+    ]
+    table = render_table(
+        ["config", "measured [cycles]", "paper [cycles]", "deviation"],
+        rows,
+        title="Fig. 12: all-over performance of the H.264 encoding engine (per MB)",
+    )
+    chart = render_bars(
+        totals, title="Fig. 12 (linear scale)", unit=" cyc"
+    )
+    save_artifact("fig12_encoder_performance.txt", table + "\n\n" + chart)

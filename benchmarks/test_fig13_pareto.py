@@ -1,0 +1,82 @@
+"""Fig. 13 — RISPP SI trade-off: performance vs resources.
+
+Regenerates the per-SI (atoms, cycles) point clouds of Table 2 and their
+Pareto-optimal fronts — the highlighted lines the run-time system moves
+along ("dynamic trade-off"), which a design-time-fixed ASIP cannot do —
+and verifies the run-time selection actually walks these fronts as the
+container budget grows.
+"""
+
+from repro.core import ForecastedSI, pareto_front_of, tradeoff_points, upgrade_path
+from repro.reporting import render_series
+
+FIG13_SIS = ("SATD_4x4", "HT_4x4", "DCT_4x4", "HT_2x2")
+
+
+def regenerate(library):
+    fronts = {}
+    clouds = {}
+    for name in FIG13_SIS:
+        si = library.get(name)
+        clouds[name] = tradeoff_points(si)
+        fronts[name] = pareto_front_of(si)
+    return clouds, fronts
+
+
+def test_fig13_pareto(benchmark, save_artifact, h264_library):
+    clouds, fronts = benchmark(regenerate, h264_library)
+
+    # The x axis spans 0..18 RISPP resources, as plotted.
+    all_atoms = [p.atoms for pts in clouds.values() for p in pts]
+    assert max(all_atoms) == 18
+    assert min(all_atoms) >= 2
+
+    # Every front is strictly improving: more atoms, fewer cycles.
+    for name, front in fronts.items():
+        for a, b in zip(front, front[1:]):
+            assert b.atoms > a.atoms and b.cycles < a.cycles
+        # Front endpoints: the minimal and the fastest molecule.
+        si = h264_library.get(name)
+        assert front[0].cycles == si.minimal_molecule().cycles
+        assert front[-1].cycles == si.fastest_molecule().cycles
+
+    # SATD_4x4 offers the richest trade-off (15 molecules, >= 5 Pareto
+    # points), matching the densest line in the figure.
+    assert len(clouds["SATD_4x4"]) == 15
+    assert len(fronts["SATD_4x4"]) >= 5
+
+    # Dynamic trade-off: as the run-time budget grows, the selected
+    # molecule's latency walks down the front monotonically.
+    requests = [ForecastedSI(h264_library.get("SATD_4x4"), 100)]
+    path = upgrade_path(h264_library, requests, 18)
+    latencies = [
+        r.chosen["SATD_4x4"].cycles if r.chosen["SATD_4x4"] else
+        h264_library.get("SATD_4x4").software_cycles
+        for r in path
+    ]
+    assert latencies == sorted(latencies, reverse=True)
+    assert latencies[-1] == h264_library.get("SATD_4x4").fastest_molecule().cycles
+
+    series = {
+        f"{name} (all molecules)": [(p.atoms, p.cycles) for p in clouds[name]]
+        for name in FIG13_SIS
+    }
+    series.update(
+        {
+            f"{name} (Pareto front)": [(p.atoms, p.cycles) for p in fronts[name]]
+            for name in FIG13_SIS
+        }
+    )
+    art = render_series(
+        series,
+        title="Fig. 13: SI performance vs RISPP resources",
+        x_label="#Atoms",
+        y_label="cycles",
+    )
+    budget_walk = "\n".join(
+        f"budget={i:2d} -> SATD_4x4 {lat} cycles" for i, lat in enumerate(latencies)
+    )
+    save_artifact(
+        "fig13_pareto.txt",
+        art + "\n\nRun-time budget walk (dynamic trade-off):\n" + budget_walk,
+    )

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""The H.264 case study end to end (paper §6, Figs. 7/11/12).
+
+Encodes synthetic macroblocks through the Fig. 7 pipeline (functional —
+real SATD motion search, DCT, Hadamard transforms), then prices the same
+workload on the RISPP run-time under different Atom-Container budgets and
+compares against the paper's published per-macroblock numbers.
+
+Run:  python examples/h264_encoder_rotation.py
+"""
+
+from repro.apps.h264 import (
+    EncoderPipeline,
+    REFERENCE_CONFIGS,
+    build_h264_library,
+    macroblock_cycles,
+    macroblock_stream,
+    si_cycles_for_config,
+)
+from repro.reporting import render_bars, render_table
+from repro.runtime import RisppRuntime
+
+PAPER = {
+    "Opt. SW": 201_065,
+    "4 Atoms": 60_244,
+    "5 Atoms": 59_135,
+    "6 Atoms": 58_287,
+}
+
+
+def main() -> None:
+    # -- functional pass: really encode two macroblocks --------------------
+    pipeline = EncoderPipeline()
+    macroblocks = macroblock_stream(2, seed=5)
+    for i, mb in enumerate(macroblocks):
+        out = pipeline.encode_macroblock(mb)
+        print(
+            f"MB{i}: SI calls {out.si_counts}, "
+            f"mean best SATD {sum(out.best_satd) / 16:.0f}, "
+            f"intra={'yes' if out.intra_injected else 'no'}"
+        )
+
+    # -- rate-distortion: the quantizing decoder-in-the-encoder ------------
+    print("\nRate-distortion sweep (TQ chain, one macroblock):")
+    import numpy as np
+
+    for qp in (0, 12, 24, 36, 48):
+        out = EncoderPipeline(qp=qp).encode_macroblock(macroblocks[0])
+        nz = sum(
+            int(np.count_nonzero(out.luma_levels[i][j]))
+            for i in range(4)
+            for j in range(4)
+        )
+        print(f"  QP {qp:2d}: PSNR {out.luma_psnr(macroblocks[0].luma):5.1f} dB, "
+              f"{nz:3d}/256 non-zero levels")
+
+    # -- cycle model: the Fig. 12 comparison -------------------------------
+    library = build_h264_library()
+    sis = ("SATD_4x4", "DCT_4x4", "HT_4x4", "HT_2x2")
+    rows = []
+    totals = {}
+    for config in REFERENCE_CONFIGS:
+        latencies = {s: si_cycles_for_config(library, s, config) for s in sis}
+        total = macroblock_cycles(latencies)
+        totals[config] = total
+        rows.append(
+            [config, *latencies.values(), total, PAPER[config],
+             f"{100 * (total - PAPER[config]) / PAPER[config]:+.2f}%"]
+        )
+    print()
+    print(
+        render_table(
+            ["config", *sis, "cycles/MB", "paper", "dev"],
+            rows,
+            title="Fig. 11 + Fig. 12: SI latencies and whole-encoder cycles",
+        )
+    )
+    print()
+    print(render_bars(totals, title="Fig. 12 (linear)", unit=" cyc"))
+
+    # -- live rotation: a runtime processing frames ------------------------
+    print("\nForecast-driven rotation while encoding:")
+    runtime = RisppRuntime(library, num_containers=6, core_mhz=100.0)
+    runtime.forecast("SATD_4x4", now=0, expected=256)
+    runtime.forecast("DCT_4x4", now=0, expected=16)
+    now = 600_000  # warm-up: rotations complete during preprocessing
+    for name, count in (("SATD_4x4", 256), ("DCT_4x4", 16), ("HT_4x4", 1)):
+        spent = 0
+        for _ in range(count):
+            c = runtime.execute_si(name, now)
+            spent += c
+            now += c
+        print(f"  {name:9s} x{count:3d}: {spent:7,} cycles "
+              f"({runtime.si_mode(name, now)})")
+    print(f"  rotations: {runtime.stats.rotations_requested}, "
+          f"HW fraction: {100 * runtime.stats.hw_fraction():.1f}%")
+
+
+if __name__ == "__main__":
+    main()

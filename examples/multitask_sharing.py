@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The Fig. 6 scenario: two tasks sharing six Atom Containers.
+
+Replays the paper's T0..T5 walk-through on the behavioural runtime:
+steady state, forecast-driven reallocation, software fallback, cross-task
+atom reuse, and the gradual SW -> HW -> faster-HW upgrade ladder.
+
+Run:  python examples/multitask_sharing.py
+"""
+
+from repro.apps.h264.scenario import run_fig6_scenario
+from repro.reporting import render_container_timeline
+from repro.sim import EventKind
+
+
+def main() -> None:
+    result = run_fig6_scenario()
+    trace = result.runtime.trace
+
+    t = {name: result.label(task, name)
+         for task, name in (("A", "T0"), ("B", "T1"), ("B", "T2"), ("B", "T3"))}
+    print("Fig. 6 checkpoints:", ", ".join(f"{k}={v:,}" for k, v in t.items()))
+
+    print("\nContainer occupancy (the Fig. 6 chart):")
+    print(render_container_timeline(trace, 6, markers=t))
+
+    print("\nKey events:")
+    interesting = (
+        EventKind.FORECAST,
+        EventKind.FORECAST_END,
+        EventKind.REALLOCATION,
+        EventKind.ROTATION_REQUESTED,
+        EventKind.ROTATION_COMPLETED,
+        EventKind.SI_MODE_SWITCH,
+    )
+    for e in trace.events:
+        if e.kind in interesting:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(e.detail.items()))
+            print(f"  @{e.cycle:>9,} {e.kind.value:<19} {e.task:<2} {e.si:<9} {detail}")
+
+    print("\nSATD_4x4 execution-mode ladder after T2 (the T4/T5 upgrades):")
+    for e in trace.of_kind(EventKind.SI_MODE_SWITCH):
+        if e.si == "SATD_4x4" and e.cycle > t["T2"]:
+            print(f"  @{e.cycle:>9,}  {e.detail['from_mode']} -> "
+                  f"{e.detail['to_mode']} ({e.detail['cycles']} cycles)")
+
+    print("\nFinal container state:")
+    for line in result.runtime.fabric.describe():
+        print(" ", line)
+
+    stats = result.runtime.stats
+    print(f"\ntotals: {stats.si_executions} SI executions "
+          f"({100 * stats.hw_fraction():.1f}% in hardware), "
+          f"{stats.rotations_requested} rotations, "
+          f"{stats.mode_switches} mode switches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Exploring the area/performance design space (paper Fig. 13 + Fig. 1).
+
+Prints the Pareto fronts of all H.264 SIs, walks the run-time upgrade
+path as the container budget grows, and contrasts RISPP's shared-area
+model with the extensible-processor baseline.
+
+Run:  python examples/pareto_explorer.py
+"""
+
+from repro.apps.h264 import build_h264_library
+from repro.baselines import ExtensibleProcessor, SoftwareProcessor
+from repro.core import ForecastedSI, pareto_front_of, tradeoff_points, upgrade_path
+from repro.hardware import H264_PHASES, AreaComparison
+from repro.reporting import render_table
+
+
+def main() -> None:
+    library = build_h264_library(include_sad=True)
+
+    # -- Fig. 13: per-SI trade-off clouds and fronts -----------------------
+    for name in ("SATD_4x4", "DCT_4x4", "HT_4x4", "HT_2x2", "SAD_4x4"):
+        si = library.get(name)
+        cloud = tradeoff_points(si)
+        front = pareto_front_of(si)
+        front_set = {(p.atoms, p.cycles) for p in front}
+        print(f"{name}: software {si.software_cycles} cycles")
+        for p in cloud:
+            marker = "*" if (p.atoms, p.cycles) in front_set else " "
+            print(f"  {marker} {p.atoms:2d} atoms -> {p.cycles:2d} cycles"
+                  f"   [{p.impl.label}]")
+    print("  (* = Pareto-optimal: the molecules the run-time walks, Fig. 13)")
+
+    # -- dynamic trade-off: the budget walk ---------------------------------
+    workload = [
+        ForecastedSI(library.get("SATD_4x4"), 256),
+        ForecastedSI(library.get("DCT_4x4"), 24),
+        ForecastedSI(library.get("HT_4x4"), 1),
+    ]
+    print("\nJoint selection as the Atom-Container budget grows:")
+    for result in upgrade_path(library, workload, 18):
+        chosen = {
+            n: (i.cycles if i else "SW") for n, i in result.chosen.items()
+        }
+        print(f"  budget {result.containers_used:2d} used: {chosen}")
+
+    # -- RISPP vs the baselines ----------------------------------------------
+    print()
+    sw = SoftwareProcessor(library)
+    asip = ExtensibleProcessor.design(library, workload, atom_budget=18)
+    profile = {"SATD_4x4": 256, "DCT_4x4": 24, "HT_4x4": 1}
+    rows = [
+        ["software", "-", sw.execute_workload(profile)],
+        ["ASIP (18 dedicated atoms)", asip.dedicated_atoms,
+         asip.execute_workload(profile)],
+    ]
+    print(render_table(
+        ["platform", "atoms", "SI cycles / MB"], rows,
+        title="Baselines on the Fig. 7 workload",
+    ))
+
+    cmp = AreaComparison.build(list(H264_PHASES), alpha=1.25)
+    print(f"\nFig. 1 area story: extensible {cmp.extensible_ge:,} GE vs "
+          f"RISPP {cmp.rispp_ge:,.0f} GE "
+          f"(alpha={cmp.alpha}) -> {cmp.saving_pct:.1f}% saving")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Quickstart: the RISPP model in five minutes.
+
+Walks through the public API bottom-up: the Molecule algebra, a Special
+Instruction with multiple hardware molecules, run-time molecule selection
+under a container budget, and a forecast-driven rotation on the run-time
+manager.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AtomCatalogue,
+    AtomKind,
+    ForecastedSI,
+    MoleculeImpl,
+    SILibrary,
+    SpecialInstruction,
+    select_greedy,
+    supremum,
+)
+from repro.runtime import RisppRuntime
+
+
+def main() -> None:
+    # 1. An atom catalogue: two rotatable data paths + a static helper.
+    catalogue = AtomCatalogue.of(
+        [
+            AtomKind("Butterfly", bitstream_bytes=60_000),
+            AtomKind("AbsSum", bitstream_bytes=55_000),
+            AtomKind("Fetch", reconfigurable=False),
+        ]
+    )
+    space = catalogue.space
+
+    # 2. Molecules are atom-count vectors with lattice algebra.
+    small = space.molecule({"Butterfly": 1, "AbsSum": 1, "Fetch": 1})
+    fast = space.molecule({"Butterfly": 4, "AbsSum": 2, "Fetch": 1})
+    print("union      :", small | fast)          # element-wise max
+    print("intersection:", small & fast)         # element-wise min
+    print("residual    :", fast - small)         # atoms still to load
+    print("determinant :", abs(fast), "atom instances")
+    print("supremum    :", supremum([small, fast]))
+    print("small <= fast:", small <= fast)
+
+    # 3. A Special Instruction: software fallback + hardware molecules.
+    cost = SpecialInstruction(
+        "COST",
+        space,
+        software_cycles=400,
+        implementations=[
+            MoleculeImpl(small, 30, label="minimal"),
+            MoleculeImpl(fast, 10, label="fast"),
+        ],
+        description="a made-up block-matching cost function",
+    )
+    library = SILibrary(catalogue, [cost])
+    print("\nRep(COST)  :", cost.rep())
+    print("speed-up   :", f"{cost.max_expected_speedup():.0f}x over software")
+
+    # 4. Molecule selection: best implementations within a budget.
+    for budget in (0, 2, 6):
+        result = select_greedy(
+            library, [ForecastedSI(cost, expected_executions=100)], budget
+        )
+        impl = result.chosen["COST"]
+        print(
+            f"budget={budget}: "
+            + (f"molecule '{impl.label}' ({impl.cycles} cyc)" if impl else "software")
+        )
+
+    # 5. The run-time manager: forecast -> rotation -> gradual upgrade.
+    runtime = RisppRuntime(library, num_containers=6, core_mhz=100.0)
+    runtime.forecast("COST", now=0, expected=100)
+    print("\nexecution right after the forecast:",
+          runtime.execute_si("COST", now=10), "cycles (software)")
+    done = max(j.finish_at for j in runtime.port.jobs)
+    print(f"rotations finish at cycle {done:,}")
+    print("execution after the rotations     :",
+          runtime.execute_si("COST", now=done + 1), "cycles (hardware)")
+    print("\nevent trace:")
+    print(runtime.trace.render_timeline())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""RISPP: Rotating Instruction Set Processing Platform — behavioural reproduction.
+
+Reproduction of Bauer, Shafique, Kramer, Henkel: *RISPP: Rotating
+Instruction Set Processing Platform*, DAC 2007.
+
+Top-level re-exports cover the public API most users need:
+
+* the Atom/Molecule formal model (:mod:`repro.core`),
+* the compile-time forecast pipeline (:mod:`repro.forecast`),
+* the run-time rotation manager (:mod:`repro.runtime`),
+* the hardware model (:mod:`repro.hardware`),
+* the H.264 case-study library (:mod:`repro.apps.h264`).
+"""
+
+from .core import (
+    AtomCatalogue,
+    AtomKind,
+    AtomSpace,
+    ForecastedSI,
+    Molecule,
+    MoleculeImpl,
+    SILibrary,
+    SpecialInstruction,
+    infimum,
+    pareto_front_of,
+    select_greedy,
+    supremum,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomCatalogue",
+    "AtomKind",
+    "AtomSpace",
+    "ForecastedSI",
+    "Molecule",
+    "MoleculeImpl",
+    "SILibrary",
+    "SpecialInstruction",
+    "infimum",
+    "pareto_front_of",
+    "select_greedy",
+    "supremum",
+    "__version__",
+]

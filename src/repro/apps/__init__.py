@@ -1,0 +1,1 @@
+"""Case-study applications: the H.264 encoder pipeline and AES."""

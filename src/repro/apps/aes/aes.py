@@ -1,0 +1,189 @@
+"""AES-128 (FIPS-197): the second case-study application.
+
+The paper's Fig. 3 shows the BB graph of an AES application with
+profiling information and Forecast-Candidate computation.  This module
+is a complete, self-contained AES-128 implementation — key expansion,
+encryption and decryption — used both functionally (test vectors) and as
+the substrate whose basic-block structure feeds the forecast pipeline
+(:mod:`repro.apps.aes.blocks`).
+"""
+
+from __future__ import annotations
+
+SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+INV_SBOX = [0] * 256
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+ROUNDS = 10
+
+
+def xtime(b: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial."""
+    b <<= 1
+    if b & 0x100:
+        b ^= 0x11B
+    return b & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook double-and-add)."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = xtime(a)
+    return result
+
+
+def _check_block(data: bytes, what: str) -> None:
+    if len(data) != BLOCK_BYTES:
+        raise ValueError(f"{what} must be {BLOCK_BYTES} bytes, got {len(data)}")
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """FIPS-197 key expansion: 11 round keys of 16 bytes each."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"AES-128 key must be {KEY_BYTES} bytes")
+    words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 4 * (ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [SBOX[b] for b in temp]  # SubWord
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [
+        sum((words[4 * r + c] for c in range(4)), [])
+        for r in range(ROUNDS + 1)
+    ]
+
+
+def sub_bytes(state: list[int]) -> list[int]:
+    return [SBOX[b] for b in state]
+
+
+def inv_sub_bytes(state: list[int]) -> list[int]:
+    return [INV_SBOX[b] for b in state]
+
+
+def shift_rows(state: list[int]) -> list[int]:
+    """Column-major state: byte (row, col) sits at 4*col + row."""
+    out = [0] * 16
+    for row in range(4):
+        for col in range(4):
+            out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+    return out
+
+
+def inv_shift_rows(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for row in range(4):
+        for col in range(4):
+            out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+    return out
+
+
+def mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = gf_mul(a[0], 2) ^ gf_mul(a[1], 3) ^ a[2] ^ a[3]
+        out[4 * col + 1] = a[0] ^ gf_mul(a[1], 2) ^ gf_mul(a[2], 3) ^ a[3]
+        out[4 * col + 2] = a[0] ^ a[1] ^ gf_mul(a[2], 2) ^ gf_mul(a[3], 3)
+        out[4 * col + 3] = gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ gf_mul(a[3], 2)
+    return out
+
+
+def inv_mix_columns(state: list[int]) -> list[int]:
+    out = [0] * 16
+    for col in range(4):
+        a = state[4 * col : 4 * col + 4]
+        out[4 * col + 0] = (
+            gf_mul(a[0], 14) ^ gf_mul(a[1], 11) ^ gf_mul(a[2], 13) ^ gf_mul(a[3], 9)
+        )
+        out[4 * col + 1] = (
+            gf_mul(a[0], 9) ^ gf_mul(a[1], 14) ^ gf_mul(a[2], 11) ^ gf_mul(a[3], 13)
+        )
+        out[4 * col + 2] = (
+            gf_mul(a[0], 13) ^ gf_mul(a[1], 9) ^ gf_mul(a[2], 14) ^ gf_mul(a[3], 11)
+        )
+        out[4 * col + 3] = (
+            gf_mul(a[0], 11) ^ gf_mul(a[1], 13) ^ gf_mul(a[2], 9) ^ gf_mul(a[3], 14)
+        )
+    return out
+
+
+def add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+    return [a ^ b for a, b in zip(state, round_key)]
+
+
+def encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """AES-128 encryption of one 16-byte block."""
+    _check_block(plaintext, "plaintext")
+    round_keys = expand_key(key)
+    state = add_round_key(list(plaintext), round_keys[0])
+    for rnd in range(1, ROUNDS):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, round_keys[rnd])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[ROUNDS])
+    return bytes(state)
+
+
+def decrypt_block(ciphertext: bytes, key: bytes) -> bytes:
+    """AES-128 decryption of one 16-byte block."""
+    _check_block(ciphertext, "ciphertext")
+    round_keys = expand_key(key)
+    state = add_round_key(list(ciphertext), round_keys[ROUNDS])
+    for rnd in range(ROUNDS - 1, 0, -1):
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        state = add_round_key(state, round_keys[rnd])
+        state = inv_mix_columns(state)
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    state = add_round_key(state, round_keys[0])
+    return bytes(state)
+
+
+def encrypt_ecb(plaintext: bytes, key: bytes) -> bytes:
+    """ECB over whole blocks (workload helper; not for real-world use)."""
+    if len(plaintext) % BLOCK_BYTES:
+        raise ValueError("plaintext must be a multiple of the block size")
+    return b"".join(
+        encrypt_block(plaintext[i : i + BLOCK_BYTES], key)
+        for i in range(0, len(plaintext), BLOCK_BYTES)
+    )

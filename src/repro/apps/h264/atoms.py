@@ -1,0 +1,200 @@
+"""Behavioural Atom data paths of the H.264 case study (paper §6).
+
+Each function models one execution of one Atom's data path on real data:
+
+* :func:`transform_atom` — the Fig. 9 butterfly: the add/subtract flow
+  shared by all three H.264 transforms, with the ``DCT`` shift elements
+  (``<< 1``) and the ``HT`` shift elements (``>> 1``) multiplexed in by
+  two control signals, making the single Atom reusable for SATD_4x4,
+  DCT_4x4, HT_4x4 and HT_2x2.
+* :func:`satd_atom` — absolute-value adder tree over four coefficients.
+* :func:`quadsub_atom` — four parallel subtractions (residual pairs).
+* :func:`pack_atom` — the Pack_LSB_MSB data reorganisation: two 16-bit
+  values share one 32-bit register (the paper's storage pattern for
+  coefficients), and packing LSB/MSB halves across registers realises
+  the row/column transposition between transform passes.
+
+A :class:`AtomExecutionCounter` wraps the functions to count executions
+per kind, letting tests verify statements like "each HT_4x4 requires 4
+Transform- and 4 Pack-executions" directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+INT16_MIN = -(1 << 15)
+INT16_MAX = (1 << 15) - 1
+
+
+def _vec4(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.shape != (4,):
+        raise ValueError(f"atom data paths are 4 elements wide, got {arr.shape}")
+    return arr
+
+
+def transform_atom(values, *, mode: str, ht_shift: bool = False) -> np.ndarray:
+    """One pass of the shared Transform butterfly (Fig. 9).
+
+    Parameters
+    ----------
+    values:
+        Four input coefficients ``(x0, x1, x2, x3)``.
+    mode:
+        ``"DCT"`` engages the ``<< 1`` shift elements (H.264 integer
+        transform row), ``"HT"`` the plain Hadamard butterfly.
+    ht_shift:
+        In HT mode, additionally apply the ``>> 1`` output shifters
+        (used on the second, column pass of HT_4x4 so the 2-D result is
+        the standard's ``(H.X.H^T)/2``).
+
+    Returns the four output coefficients ``(y0, y1, y2, y3)``.
+    """
+    x0, x1, x2, x3 = _vec4(values)
+    e0 = x0 + x3
+    e1 = x1 + x2
+    e2 = x1 - x2
+    e3 = x0 - x3
+    if mode == "DCT":
+        if ht_shift:
+            raise ValueError("the >>1 shifters belong to HT mode")
+        y = np.array([e0 + e1, (e3 << 1) + e2, e0 - e1, e3 - (e2 << 1)])
+    elif mode == "HT":
+        y = np.array([e0 + e1, e3 + e2, e0 - e1, e3 - e2])
+        if ht_shift:
+            y = y >> 1
+    else:
+        raise ValueError(f"unknown transform mode {mode!r}")
+    return y.astype(np.int64)
+
+
+def satd_atom(values) -> int:
+    """Absolute-value adder tree: one partial SATD accumulation."""
+    return int(np.abs(_vec4(values)).sum())
+
+
+def quadsub_atom(originals, predictions) -> np.ndarray:
+    """Four parallel 16-bit subtractions (one residual quadruple)."""
+    a = _vec4(originals)
+    b = _vec4(predictions)
+    return a - b
+
+
+def pack_words(lsb_values, msb_values) -> np.ndarray:
+    """Pack pairs of 16-bit values into 32-bit words (LSB | MSB << 16).
+
+    "As the coefficients are not exceeding the 16-bit range we have
+    considered the 16-bit storage pattern ... Two 16-bit data values are
+    packed into one 32-bit register" (§6).
+    """
+    lsb = _vec4(lsb_values)
+    msb = _vec4(msb_values)
+    for arr in (lsb, msb):
+        if ((arr < INT16_MIN) | (arr > INT16_MAX)).any():
+            raise ValueError("coefficient exceeds the 16-bit storage pattern")
+    return ((lsb & 0xFFFF) | ((msb & 0xFFFF) << 16)).astype(np.int64)
+
+
+def unpack_words(words) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_words`, sign-extending both halves."""
+    w = _vec4(words)
+
+    def sign_extend(v: np.ndarray) -> np.ndarray:
+        v = v & 0xFFFF
+        return np.where(v > INT16_MAX, v - (1 << 16), v).astype(np.int64)
+
+    return sign_extend(w), sign_extend(w >> 16)
+
+
+def pack_atom(rows: list, column: int) -> np.ndarray:
+    """One Pack_LSB_MSB execution: gather column ``column`` of four rows.
+
+    Between the row and column passes of a 4x4 transform the coefficient
+    matrix must be transposed; with the 16-bit packed storage pattern one
+    Pack execution assembles one column out of the packed row registers.
+    Behaviourally: column extraction, bit-exact through a pack/unpack
+    round trip.
+    """
+    if len(rows) != 4:
+        raise ValueError("pack operates on the four row vectors")
+    if not 0 <= column < 4:
+        raise ValueError("column index out of range")
+    gathered = []
+    for row in rows:
+        row = _vec4(row)
+        # Route the element through the packed register pair exactly as
+        # the hardware would: low half carries even, high half odd lanes.
+        packed = pack_words(row[[0, 2, 0, 2]], row[[1, 3, 1, 3]])
+        lsb, msb = unpack_words(packed)
+        value = lsb[column // 2] if column % 2 == 0 else msb[column // 2]
+        gathered.append(value)
+    return np.array(gathered, dtype=np.int64)
+
+
+def load_atom(memory, address: int) -> np.ndarray:
+    """Static-fabric Load: fetch four consecutive values."""
+    if address < 0 or address + 4 > len(memory):
+        raise ValueError("load out of bounds")
+    return np.asarray(memory[address : address + 4], dtype=np.int64)
+
+
+def add_atom(values_a, values_b) -> np.ndarray:
+    """Static-fabric Add: four parallel additions."""
+    return _vec4(values_a) + _vec4(values_b)
+
+
+def store_atom(memory, address: int, values) -> None:
+    """Static-fabric Store: write four consecutive values."""
+    v = _vec4(values)
+    if address < 0 or address + 4 > len(memory):
+        raise ValueError("store out of bounds")
+    memory[address : address + 4] = v
+
+
+@dataclass
+class AtomExecutionCounter:
+    """Counts Atom executions while delegating to the behavioural models.
+
+    Used to verify the dataflow requirements the paper states (e.g. one
+    HT_4x4 = 4 Transform + 4 Pack executions) and to feed the dataflow
+    scheduler with measured execution counts.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def _bump(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def transform(self, values, *, mode: str, ht_shift: bool = False) -> np.ndarray:
+        self._bump("Transform")
+        return transform_atom(values, mode=mode, ht_shift=ht_shift)
+
+    def satd(self, values) -> int:
+        self._bump("SATD")
+        return satd_atom(values)
+
+    def quadsub(self, originals, predictions) -> np.ndarray:
+        self._bump("QuadSub")
+        return quadsub_atom(originals, predictions)
+
+    def pack(self, rows: list, column: int) -> np.ndarray:
+        self._bump("Pack")
+        return pack_atom(rows, column)
+
+    def load(self, memory, address: int) -> np.ndarray:
+        self._bump("Load")
+        return load_atom(memory, address)
+
+    def add(self, values_a, values_b) -> np.ndarray:
+        self._bump("Add")
+        return add_atom(values_a, values_b)
+
+    def store(self, memory, address: int, values) -> None:
+        self._bump("Store")
+        store_atom(memory, address, values)
+
+    def reset(self) -> None:
+        self.counts.clear()

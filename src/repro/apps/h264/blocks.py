@@ -1,0 +1,65 @@
+"""Block utilities: macroblock slicing and pixel handling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+MACROBLOCK_SIZE = 16
+SUBBLOCK_SIZE = 4
+CHROMA_SIZE = 8
+
+
+def as_pixels(block) -> np.ndarray:
+    """Validate a pixel block: integer values in [0, 255]."""
+    arr = np.asarray(block, dtype=np.int64)
+    if ((arr < 0) | (arr > 255)).any():
+        raise ValueError("pixel values must be within [0, 255]")
+    return arr
+
+
+def split_into_4x4(block) -> list[list[np.ndarray]]:
+    """Split an NxN block (N multiple of 4) into a grid of 4x4 sub-blocks."""
+    arr = np.asarray(block, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError("expected a square block")
+    n = arr.shape[0]
+    if n % SUBBLOCK_SIZE:
+        raise ValueError("block size must be a multiple of 4")
+    grid = n // SUBBLOCK_SIZE
+    return [
+        [
+            arr[
+                i * SUBBLOCK_SIZE : (i + 1) * SUBBLOCK_SIZE,
+                j * SUBBLOCK_SIZE : (j + 1) * SUBBLOCK_SIZE,
+            ]
+            for j in range(grid)
+        ]
+        for i in range(grid)
+    ]
+
+
+def assemble_from_4x4(grid: list[list[np.ndarray]]) -> np.ndarray:
+    """Inverse of :func:`split_into_4x4`."""
+    rows = [np.hstack(row) for row in grid]
+    return np.vstack(rows)
+
+
+def extract_block(frame: np.ndarray, top: int, left: int, size: int) -> np.ndarray:
+    """Cut a ``size`` x ``size`` window out of a frame; bounds-checked."""
+    h, w = frame.shape
+    if not (0 <= top and top + size <= h and 0 <= left and left + size <= w):
+        raise ValueError(
+            f"block ({top},{left},{size}) out of frame bounds {frame.shape}"
+        )
+    return np.asarray(frame[top : top + size, left : left + size], dtype=np.int64)
+
+
+def macroblock_positions(height: int, width: int) -> list[tuple[int, int]]:
+    """Top-left corners of all full macroblocks in a frame."""
+    if height < MACROBLOCK_SIZE or width < MACROBLOCK_SIZE:
+        raise ValueError("frame smaller than one macroblock")
+    return [
+        (top, left)
+        for top in range(0, height - MACROBLOCK_SIZE + 1, MACROBLOCK_SIZE)
+        for left in range(0, width - MACROBLOCK_SIZE + 1, MACROBLOCK_SIZE)
+    ]

@@ -1,0 +1,227 @@
+"""Intra-frame bitstream serialisation and the matching decoder.
+
+Closes the codec loop: :func:`serialize_intra_frame` writes a complete
+intra frame (header + per-block intra mode + run-level coefficients) as
+a bitstream, and :func:`decode_intra_frame_bitstream` reconstructs the
+frame from nothing but those bits — using the same causal prediction and
+TQ chain as the encoder, so decoder output is **bit-exact** with the
+encoder's reconstruction (the property that makes closed-loop prediction
+drift-free).
+
+Bitstream layout::
+
+    ue(height/4) ue(width/4) ue(qp)
+    per 4x4 block in raster order:
+        ue(mode index into MODES)  run-level coded levels
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .entropy import BitReader, BitWriter, decode_block, encode_block, read_ue, write_ue
+from .intra import MODES, IntraFrameResult, encode_intra_frame, intra_predict_4x4
+from .quant import dequantize_4x4, inverse_dct_4x4
+
+
+def serialize_intra_frame(
+    result: IntraFrameResult, qp: int
+) -> BitWriter:
+    """Serialise an encoded intra frame (modes + quantized levels)."""
+    height, width = result.reconstructed.shape
+    writer = BitWriter()
+    write_ue(writer, height // 4)
+    write_ue(writer, width // 4)
+    write_ue(writer, qp)
+    for block_row in range(height // 4):
+        for block_col in range(width // 4):
+            key = (block_row, block_col)
+            write_ue(writer, MODES.index(result.modes[key]))
+            encode_block(result.levels[key], writer)
+    return writer
+
+
+def decode_intra_frame_bitstream(bits: list[int]) -> tuple[np.ndarray, int]:
+    """Decode a frame from its serialized bits; returns (frame, qp).
+
+    Reconstruction is causal and uses only decoded data — exactly what a
+    receiver can do — and therefore matches the encoder's reference frame
+    bit for bit.
+    """
+    reader = BitReader(bits)
+    block_rows = read_ue(reader)
+    block_cols = read_ue(reader)
+    qp = read_ue(reader)
+    if block_rows == 0 or block_cols == 0:
+        raise ValueError("empty frame")
+    if qp > 51:
+        raise ValueError("invalid QP in bitstream")
+    height, width = 4 * block_rows, 4 * block_cols
+    recon = np.zeros((height, width), dtype=np.int64)
+    for block_row in range(block_rows):
+        for block_col in range(block_cols):
+            mode_index = read_ue(reader)
+            if mode_index >= len(MODES):
+                raise ValueError("invalid intra mode in bitstream")
+            mode = MODES[mode_index]
+            levels = decode_block(reader)
+            top_px, left_px = 4 * block_row, 4 * block_col
+            top = recon[top_px - 1, left_px : left_px + 4] if top_px else None
+            left = recon[top_px : top_px + 4, left_px - 1] if left_px else None
+            prediction = intra_predict_4x4(mode, top, left)
+            residual = inverse_dct_4x4(dequantize_4x4(levels, qp))
+            recon[top_px : top_px + 4, left_px : left_px + 4] = np.clip(
+                prediction + residual, 0, 255
+            )
+    return recon, qp
+
+
+def roundtrip_intra_frame(frame, qp: int) -> tuple[np.ndarray, int]:
+    """Encode, serialise, decode; returns (decoded frame, bitstream bits)."""
+    encoded = encode_intra_frame(frame, qp)
+    bitstream = serialize_intra_frame(encoded, qp)
+    decoded, decoded_qp = decode_intra_frame_bitstream(bitstream.bits)
+    if decoded_qp != qp:
+        raise AssertionError("QP corrupted in the bitstream")
+    if not (decoded == encoded.reconstructed).all():
+        raise AssertionError(
+            "decoder drifted from the encoder's reconstruction"
+        )
+    return decoded, len(bitstream)
+
+
+# ---------------------------------------------------------------------------
+# Whole-sequence codec: intra frame 0 + motion-compensated inter frames
+# ---------------------------------------------------------------------------
+#
+# Sequence bitstream layout::
+#
+#     ue(height/4) ue(width/4) ue(qp) ue(n_frames)
+#     frame 0: per 4x4 block raster: ue(mode) levels        (intra)
+#     frames 1..: per macroblock position, per 4x4 sub-block:
+#         ue(candidate index)  levels                        (inter)
+#
+# The decoder recomputes the candidate windows from the reference frame
+# exactly like the encoder's motion search enumerated them, so candidate
+# *indices* are a complete motion representation.
+
+from .encoder import EncoderPipeline  # noqa: E402  (keeps module header tidy)
+from .sequence import _encodable_positions  # noqa: E402
+from .workload import build_macroblock, candidate_offsets  # noqa: E402
+
+
+def _candidate_window(
+    reference: np.ndarray, base_top: int, base_left: int, index: int
+) -> np.ndarray:
+    """The decoder's view of one motion candidate (clamped like the encoder)."""
+    h, w = reference.shape
+    dy, dx = candidate_offsets()[index]
+    top = min(max(base_top + dy, 0), h - 4)
+    left = min(max(base_left + dx, 0), w - 4)
+    return reference[top : top + 4, left : left + 4]
+
+
+def serialize_sequence(frames: list, qp: int) -> tuple[BitWriter, list[np.ndarray]]:
+    """Encode a whole sequence to bits; returns (bitstream, reconstructions).
+
+    Frame 0 is intra-coded; later frames are motion-compensated against
+    the reconstructed predecessor.  The returned reconstructions are what
+    any decoder of these bits must reproduce bit-exactly.
+    """
+    if not frames:
+        raise ValueError("need at least one frame")
+    frames = [np.asarray(f, dtype=np.int64) for f in frames]
+    height, width = frames[0].shape
+    if any(f.shape != (height, width) for f in frames):
+        raise ValueError("all frames must share one shape")
+    positions = _encodable_positions(height, width)
+    if not positions:
+        raise ValueError("frames too small to encode any macroblock")
+
+    writer = BitWriter()
+    write_ue(writer, height // 4)
+    write_ue(writer, width // 4)
+    write_ue(writer, qp)
+    write_ue(writer, len(frames))
+
+    recons: list[np.ndarray] = []
+    intra = encode_intra_frame(frames[0], qp)
+    for block_row in range(height // 4):
+        for block_col in range(width // 4):
+            key = (block_row, block_col)
+            write_ue(writer, MODES.index(intra.modes[key]))
+            encode_block(intra.levels[key], writer)
+    recons.append(intra.reconstructed)
+
+    pipeline = EncoderPipeline(qp=qp)
+    reference = intra.reconstructed
+    for frame in frames[1:]:
+        recon = reference.copy()  # un-coded margins repeat the reference
+        for top, left in positions:
+            mb = build_macroblock(frame, reference, top, left)
+            out = pipeline.encode_macroblock(mb)
+            for sub in range(16):
+                sy, sx = divmod(sub, 4)
+                write_ue(writer, out.best_candidate_index[sub])
+                encode_block(out.luma_levels[sy][sx], writer)
+            recon[top : top + 16, left : left + 16] = out.reconstructed_luma
+        recons.append(recon)
+        reference = recon
+    return writer, recons
+
+
+def decode_sequence(bits: list[int]) -> tuple[list[np.ndarray], int]:
+    """Decode a full sequence from its bits alone; returns (frames, qp)."""
+    reader = BitReader(bits)
+    block_rows = read_ue(reader)
+    block_cols = read_ue(reader)
+    qp = read_ue(reader)
+    n_frames = read_ue(reader)
+    if block_rows == 0 or block_cols == 0 or n_frames == 0:
+        raise ValueError("empty sequence")
+    if qp > 51:
+        raise ValueError("invalid QP in bitstream")
+    height, width = 4 * block_rows, 4 * block_cols
+    positions = _encodable_positions(height, width)
+
+    # Frame 0: intra.
+    recon = np.zeros((height, width), dtype=np.int64)
+    for block_row in range(block_rows):
+        for block_col in range(block_cols):
+            mode_index = read_ue(reader)
+            if mode_index >= len(MODES):
+                raise ValueError("invalid intra mode in bitstream")
+            levels = decode_block(reader)
+            top_px, left_px = 4 * block_row, 4 * block_col
+            top = recon[top_px - 1, left_px : left_px + 4] if top_px else None
+            left = recon[top_px : top_px + 4, left_px - 1] if left_px else None
+            prediction = intra_predict_4x4(MODES[mode_index], top, left)
+            residual = inverse_dct_4x4(dequantize_4x4(levels, qp))
+            recon[top_px : top_px + 4, left_px : left_px + 4] = np.clip(
+                prediction + residual, 0, 255
+            )
+    frames = [recon]
+
+    # Later frames: motion compensation + residual.
+    n_candidates = len(candidate_offsets())
+    reference = recon
+    for _frame in range(1, n_frames):
+        out = reference.copy()
+        for top, left in positions:
+            for sub in range(16):
+                sy, sx = divmod(sub, 4)
+                index = read_ue(reader)
+                if index >= n_candidates:
+                    raise ValueError("invalid motion candidate in bitstream")
+                levels = decode_block(reader)
+                prediction = _candidate_window(
+                    reference, top + 4 * sy, left + 4 * sx, index
+                )
+                residual = inverse_dct_4x4(dequantize_4x4(levels, qp))
+                out[
+                    top + 4 * sy : top + 4 * sy + 4,
+                    left + 4 * sx : left + 4 * sx + 4,
+                ] = np.clip(prediction + residual, 0, 255)
+        frames.append(out)
+        reference = out
+    return frames, qp

@@ -1,0 +1,192 @@
+"""The Fig. 1 story as a simulation: per-frame hot-spot phase rotation.
+
+Fig. 1 motivates RISPP with the H.264 encoder's four phase groups —
+Motion Estimation (ME), Motion Compensation (MC), Transform & Quantization
+(TQ) and Loop Filter (LF) — executing one after another within each
+frame: an extensible processor carries dedicated hardware for all four
+simultaneously although only one is active at a time, while RISPP holds
+roughly the largest phase's hardware and *rotates*: "While ME is executed
+the unused hardware will be prepared for the next hot spot" (§2).
+
+:func:`run_phase_rotation` drives a :class:`~repro.runtime.manager.RisppRuntime`
+through ``frames`` frames of the phase sequence, firing each phase's
+forecasts one phase *ahead* (the Rotation-in-Advance scheme), and
+reports per-phase hardware fractions, per-frame cycles, and the area
+comparison against the extensible-processor baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.library import SILibrary
+from ...core.selection import ForecastedSI, select_greedy
+from ...runtime.manager import RisppRuntime
+from .extensions import build_extended_library
+
+#: Cycles per frame at 100 MHz, 30 fps.
+FRAME_CYCLES = 3_300_000
+
+#: The Fig. 1 phases in execution order: (name, share of frame time,
+#: SI workload per frame).
+PHASES: tuple[tuple[str, float, dict[str, int]], ...] = (
+    ("ME", 0.55, {"SATD_4x4": 3000}),
+    ("MC", 0.17, {"MC_HPEL": 800}),
+    ("TQ", 0.16, {"DCT_4x4": 1200, "HT_4x4": 75, "HT_2x2": 150}),
+    ("LF", 0.12, {"LF_EDGE": 1500}),
+)
+
+
+@dataclass
+class PhaseResult:
+    """One phase execution within one frame."""
+
+    frame: int
+    phase: str
+    si_cycles: int
+    hw_executions: int
+    sw_executions: int
+
+    @property
+    def hw_fraction(self) -> float:
+        total = self.hw_executions + self.sw_executions
+        return self.hw_executions / total if total else 0.0
+
+
+@dataclass
+class PhaseRotationReport:
+    """The whole run: per-phase results plus aggregate numbers."""
+
+    results: list[PhaseResult] = field(default_factory=list)
+    rotations: int = 0
+    containers: int = 0
+
+    def frames(self) -> int:
+        return 1 + max((r.frame for r in self.results), default=-1)
+
+    def phase_results(self, phase: str) -> list[PhaseResult]:
+        return [r for r in self.results if r.phase == phase]
+
+    def frame_si_cycles(self, frame: int) -> int:
+        return sum(r.si_cycles for r in self.results if r.frame == frame)
+
+    def steady_state_hw_fraction(self, phase: str) -> float:
+        """HW fraction of the phase, ignoring the cold first frame."""
+        steady = [r for r in self.phase_results(phase) if r.frame > 0]
+        if not steady:
+            return 0.0
+        hw = sum(r.hw_executions for r in steady)
+        total = sum(r.hw_executions + r.sw_executions for r in steady)
+        return hw / total if total else 0.0
+
+
+def run_phase_rotation(
+    *,
+    frames: int = 4,
+    containers: int = 8,
+    lookahead: bool = True,
+    library: SILibrary | None = None,
+) -> PhaseRotationReport:
+    """Simulate ``frames`` frames of the ME/MC/TQ/LF rotation.
+
+    With ``lookahead`` each phase's forecasts fire one phase early (the
+    paper's scheme); without it they fire at the phase boundary — the
+    rotation then eats into the phase itself (the comparison point).
+    """
+    if frames < 1:
+        raise ValueError("need at least one frame")
+    library = library if library is not None else build_extended_library()
+    runtime = RisppRuntime(library, containers, core_mhz=100.0)
+    report = PhaseRotationReport(containers=containers)
+
+    schedule: list[tuple[int, str, dict[str, int], int]] = []
+    now = 0
+    for frame in range(frames):
+        for name, share, workload in PHASES:
+            schedule.append((frame, name, workload, now))
+            now += round(share * FRAME_CYCLES)
+
+    for index, (frame, name, workload, start) in enumerate(schedule):
+        # Forecast maintenance at the phase boundary: retire forecasts of
+        # the phase that just ended, fire the next phase's early.
+        if index > 0:
+            _prev_frame, prev_name, prev_workload, _s = schedule[index - 1]
+            for si in prev_workload:
+                if si not in workload:
+                    runtime.forecast_end(si, start, task=prev_name)
+        if lookahead and index + 1 < len(schedule):
+            _nf, next_name, next_workload, _ns = schedule[index + 1]
+            for si, count in next_workload.items():
+                runtime.forecast(
+                    si, start, task=next_name, expected=count, priority=0.5
+                )
+        for si, count in workload.items():
+            runtime.forecast(si, start, task=name, expected=count, priority=2.0)
+
+        clock = start
+        si_cycles = 0
+        hw_before = runtime.stats.hw_executions
+        sw_before = runtime.stats.sw_executions
+        for si, count in workload.items():
+            for _ in range(count):
+                cycles = runtime.execute_si(si, clock, task=name)
+                si_cycles += cycles
+                clock += cycles
+        report.results.append(
+            PhaseResult(
+                frame=frame,
+                phase=name,
+                si_cycles=si_cycles,
+                hw_executions=runtime.stats.hw_executions - hw_before,
+                sw_executions=runtime.stats.sw_executions - sw_before,
+            )
+        )
+
+    report.rotations = runtime.stats.rotations_requested
+    return report
+
+
+@dataclass(frozen=True)
+class PhaseAreaComparison:
+    """Atom-slice area of RISPP's containers vs per-phase dedicated SIs."""
+
+    extensible_slices: int
+    rispp_slices: int
+    per_phase_slices: dict[str, int]
+
+    @property
+    def saving_pct(self) -> float:
+        return 100.0 * (self.extensible_slices - self.rispp_slices) / self.extensible_slices
+
+
+def phase_area_comparison(
+    *, containers: int = 8, library: SILibrary | None = None
+) -> PhaseAreaComparison:
+    """Fig. 1's area panel from the actual molecule catalogue.
+
+    The extensible processor fabricates, for every phase, the molecules a
+    design-time selection picks under the same per-phase atom budget; its
+    area is the *sum* over phases.  RISPP's area is the container bank.
+    """
+    library = library if library is not None else build_extended_library()
+    container_slices = 1024 * containers
+    per_phase: dict[str, int] = {}
+    for name, _share, workload in PHASES:
+        requests = [
+            ForecastedSI(library.get(si), count) for si, count in workload.items()
+        ]
+        selection = select_greedy(library, requests, containers)
+        slices = 0
+        for impl in selection.chosen.values():
+            if impl is None:
+                continue
+            for kind_name in impl.molecule.kinds_used():
+                kind = library.catalogue.get(kind_name)
+                if kind.reconfigurable:
+                    slices += (kind.slices or 400) * impl.molecule.count(kind_name)
+        per_phase[name] = slices
+    return PhaseAreaComparison(
+        extensible_slices=sum(per_phase.values()),
+        rispp_slices=container_slices,
+        per_phase_slices=per_phase,
+    )

@@ -1,0 +1,173 @@
+"""The Fig. 6 run-time scenario: two tasks sharing six Atom Containers.
+
+Task A is the H.264 video codec executing SATD_4x4; Task B is a second
+task with two private SIs ("SI0 and SI1 for brevity").  The paper walks
+through six points in time:
+
+* **T0** — steady state: ACs 0..3 hold the smallest SATD_4x4 molecule
+  (QuadSub/Pack/Transform/SATD), ACs 4..5 belong to B and implement SI0.
+* **T1** — the more important SI1 is forecasted for B: one of A's
+  containers is reallocated and rotated for SI1; A's SATD_4x4 falls back
+  to software.
+* **T2** — the forecast states SI1 is no longer needed (and SI0 seldom):
+  B's containers are reallocated to Task A, which initiates rotations
+  towards a hardware SATD_4x4 again.
+* **T3** — B still executes SI0 *in hardware* on containers that now
+  belong to A — they still contain SI0's Atoms until their rotation
+  starts (the resource sharing the paper highlights).
+* **T4** — the first rotation completes; SATD_4x4 immediately switches
+  from SW to HW execution.
+* **T5** — a further rotation completes; SATD_4x4 upgrades to an even
+  faster molecule.
+
+:func:`build_scenario_library` extends the H.264 catalogue with Task B's
+atoms (named ``Clip``/``Filt``/``Interp`` here — the paper leaves them
+abstract); :func:`run_fig6_scenario` executes the whole timeline and
+returns the runtime (with its event trace) plus the simulator labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.atom import AtomCatalogue, AtomKind
+from ...core.library import SILibrary
+from ...core.si import MoleculeImpl, SpecialInstruction
+from ...runtime.manager import RisppRuntime
+from ...runtime.replacement import LRUPolicy
+from ...sim.task import (
+    Compute,
+    ExecuteSI,
+    Forecast,
+    ForecastEnd,
+    Label,
+    MultiTaskSimulator,
+    ScriptedTask,
+)
+from .sis import SOFTWARE_CYCLES, TABLE2, _impls, build_h264_catalogue
+
+
+def build_scenario_library() -> SILibrary:
+    """H.264 SIs + Task B's SI0/SI1 over an extended atom catalogue."""
+    base = build_h264_catalogue()
+    kinds = list(base.kinds) + [
+        AtomKind("Clip", bitstream_bytes=58_000, description="task B atom"),
+        AtomKind("Filt", bitstream_bytes=60_000, description="task B atom"),
+        AtomKind("Interp", bitstream_bytes=59_000, description="task B atom"),
+    ]
+    catalogue = AtomCatalogue.of(kinds)
+    space = catalogue.space
+    sis = [
+        SpecialInstruction(
+            name, space, SOFTWARE_CYCLES[name], _impls(space, rows)
+        )
+        for name, rows in TABLE2.items()
+    ]
+    sis.append(
+        SpecialInstruction(
+            "SI0",
+            space,
+            150,
+            [MoleculeImpl(space.molecule({"Clip": 1, "Filt": 1}), 15, label="C1 F1")],
+            description="task B's less important SI",
+        )
+    )
+    sis.append(
+        SpecialInstruction(
+            "SI1",
+            space,
+            300,
+            [
+                MoleculeImpl(
+                    space.molecule({"Pack": 1, "Transform": 1, "Interp": 1}),
+                    20,
+                    label="P1 T1 I1",
+                )
+            ],
+            description="task B's more important SI; reuses Pack/Transform",
+        )
+    )
+    return SILibrary(catalogue, sis)
+
+
+@dataclass
+class Fig6Result:
+    """The executed scenario: runtime (trace, fabric) + time labels."""
+
+    runtime: RisppRuntime
+    simulator: MultiTaskSimulator
+
+    def label(self, task: str, name: str) -> int:
+        return self.simulator.label_time(task, name)
+
+
+def build_fig6_tasks() -> list[ScriptedTask]:
+    """The two task scripts, timed so all six T-points are observable."""
+    task_a = ScriptedTask(
+        "A",
+        [
+            Forecast("SATD_4x4", expected=20.0, priority=1.0),
+            Compute(750_000),  # rotations for both tasks complete in here
+            Label("T0"),
+            ExecuteSI("SATD_4x4", times=100),  # hardware, smallest molecule
+            Compute(5_000),
+            Label("T1_window"),
+            ExecuteSI("SATD_4x4", times=100),  # software after reallocation
+            Compute(40_000),
+            # After B's T2, keep executing while rotations trickle in:
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(30_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(30_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(60_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(60_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(60_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(60_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Compute(60_000),
+            ExecuteSI("SATD_4x4", times=200),
+            Label("end"),
+        ],
+    )
+    task_b = ScriptedTask(
+        "B",
+        [
+            Forecast("SI0", expected=12.0, priority=10.0),
+            Compute(750_000),
+            Label("T0"),
+            ExecuteSI("SI0", times=100),  # hardware on ACs 4/5
+            Compute(3_000),
+            Label("T1"),
+            Forecast("SI1", expected=50.0, priority=20.0),
+            ExecuteSI("SI1", times=20),  # software while Interp rotates
+            Compute(80_000),
+            ExecuteSI("SI1", times=50),  # hardware, deploying the new AC
+            Compute(10_000),
+            Label("T2"),
+            ForecastEnd("SI1"),
+            ForecastEnd("SI0"),
+            Compute(5_000),
+            Label("T3"),
+            ExecuteSI("SI0", times=20),  # still HW on A's containers
+            Label("end"),
+        ],
+    )
+    return [task_a, task_b]
+
+
+def run_fig6_scenario(*, num_containers: int = 6) -> Fig6Result:
+    """Execute the Fig. 6 timeline and return the traced result."""
+    library = build_scenario_library()
+    runtime = RisppRuntime(
+        library,
+        num_containers,
+        core_mhz=100.0,
+        policy=LRUPolicy(),
+    )
+    simulator = MultiTaskSimulator(runtime, build_fig6_tasks())
+    simulator.run()
+    return Fig6Result(runtime=runtime, simulator=simulator)

@@ -1,0 +1,135 @@
+"""Synthetic video workload (substitute for the paper's test sequences).
+
+The paper drives its case study with real H.264 encoder inputs; offline
+we synthesise frames with the statistics that matter for the SI pipeline:
+smooth luminance gradients (so DCT coefficients concentrate in DC),
+texture noise (so SATD values are non-trivial) and global motion between
+frames (so the 16-candidate motion search of Fig. 7 has a meaningful
+minimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .blocks import CHROMA_SIZE, MACROBLOCK_SIZE, extract_block
+
+#: Fig. 7: the SATD is computed for 16 candidate sub-blocks.
+CANDIDATES_PER_SUBBLOCK = 16
+#: Sub-blocks per macroblock (16x16 luma in 4x4 pieces).
+SUBBLOCKS_PER_MACROBLOCK = 16
+
+
+def synthetic_frame(
+    height: int = 48, width: int = 48, *, seed: int = 0, shift: int = 0
+) -> np.ndarray:
+    """A luminance frame: gradient + texture + a diagonal feature.
+
+    ``shift`` translates the content, emulating global motion so that a
+    shifted reference frame contains good prediction candidates.
+    """
+    if height < MACROBLOCK_SIZE or width < MACROBLOCK_SIZE:
+        raise ValueError("frame must hold at least one macroblock")
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:height, 0:width]
+    gradient = (x + 2 * y + shift * 3) % 256
+    texture = rng.integers(-12, 13, size=(height, width))
+    stripe = 40 * (((x - y + shift) // 8) % 2)
+    frame = np.clip(gradient * 0.6 + stripe + texture + 40, 0, 255)
+    return frame.astype(np.int64)
+
+
+def chroma_from_luma(luma: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Derive 2:1 subsampled Cb/Cr planes from a luma plane."""
+    sub = luma[::2, ::2]
+    cb = np.clip(128 + (sub - 128) // 3, 0, 255).astype(np.int64)
+    cr = np.clip(128 - (sub - 128) // 4, 0, 255).astype(np.int64)
+    return cb, cr
+
+
+@dataclass
+class MacroblockData:
+    """Everything Fig. 7's pipeline needs for one macroblock."""
+
+    luma: np.ndarray  # 16x16 original pixels
+    cb: np.ndarray  # 8x8 chroma
+    cr: np.ndarray  # 8x8 chroma
+    #: candidates[s] is the list of 16 prediction 4x4 blocks for sub-block s
+    #: (sub-blocks in raster order).
+    candidates: list[list[np.ndarray]]
+
+    def __post_init__(self) -> None:
+        if self.luma.shape != (MACROBLOCK_SIZE, MACROBLOCK_SIZE):
+            raise ValueError("luma macroblock must be 16x16")
+        if self.cb.shape != (CHROMA_SIZE, CHROMA_SIZE):
+            raise ValueError("Cb block must be 8x8")
+        if self.cr.shape != (CHROMA_SIZE, CHROMA_SIZE):
+            raise ValueError("Cr block must be 8x8")
+        if len(self.candidates) != SUBBLOCKS_PER_MACROBLOCK:
+            raise ValueError("need candidate lists for all 16 sub-blocks")
+        for cand_list in self.candidates:
+            if len(cand_list) != CANDIDATES_PER_SUBBLOCK:
+                raise ValueError("each sub-block needs 16 candidates")
+
+
+def candidate_offsets() -> list[tuple[int, int]]:
+    """The 16 motion-search displacements (a 4x4 grid around the origin)."""
+    return [(dy, dx) for dy in (-2, -1, 0, 1) for dx in (-2, -1, 0, 1)]
+
+
+def build_macroblock(
+    current: np.ndarray,
+    reference: np.ndarray,
+    top: int,
+    left: int,
+) -> MacroblockData:
+    """Assemble one macroblock's data from current and reference frames.
+
+    Candidate predictions for each 4x4 sub-block are the 16 windows of the
+    reference frame displaced by :func:`candidate_offsets` (clamped to the
+    frame); this is the "SATD ... calculated first for 16 candidate
+    sub-blocks" stage of Fig. 7.
+    """
+    luma = extract_block(current, top, left, MACROBLOCK_SIZE)
+    cb_full, cr_full = chroma_from_luma(current)
+    cb = extract_block(cb_full, top // 2, left // 2, CHROMA_SIZE)
+    cr = extract_block(cr_full, top // 2, left // 2, CHROMA_SIZE)
+    h, w = reference.shape
+    candidates: list[list[np.ndarray]] = []
+    for sub in range(SUBBLOCKS_PER_MACROBLOCK):
+        sy, sx = divmod(sub, 4)
+        base_top = top + 4 * sy
+        base_left = left + 4 * sx
+        cand_list = []
+        for dy, dx in candidate_offsets():
+            cand_top = min(max(base_top + dy, 0), h - 4)
+            cand_left = min(max(base_left + dx, 0), w - 4)
+            cand_list.append(extract_block(reference, cand_top, cand_left, 4))
+        candidates.append(cand_list)
+    return MacroblockData(luma=luma, cb=cb, cr=cr, candidates=candidates)
+
+
+def macroblock_stream(
+    num_macroblocks: int, *, seed: int = 0
+) -> list[MacroblockData]:
+    """A stream of macroblocks from a synthetic two-frame sequence."""
+    if num_macroblocks < 1:
+        raise ValueError("need at least one macroblock")
+    # Leave a one-macroblock margin on every side so that motion-search
+    # candidates never clamp at the frame border.
+    side = 16 * (int(np.ceil(np.sqrt(num_macroblocks))) + 2)
+    reference = synthetic_frame(side, side, seed=seed, shift=0)
+    current = synthetic_frame(side, side, seed=seed + 1, shift=1)
+    mbs: list[MacroblockData] = []
+    positions = [
+        (top, left)
+        for top in range(16, side - 16, 16)
+        for left in range(16, side - 16, 16)
+    ]
+    for top, left in positions[:num_macroblocks]:
+        mbs.append(build_macroblock(current, reference, top, left))
+    if len(mbs) < num_macroblocks:
+        raise ValueError("frame too small for the requested macroblock count")
+    return mbs

@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: fixed-SI ASIP and pure software."""
+
+from .asip import ExtensibleProcessor
+from .software import SoftwareProcessor
+
+__all__ = ["ExtensibleProcessor", "SoftwareProcessor"]

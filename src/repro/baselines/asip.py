@@ -1,0 +1,135 @@
+"""The extensible-processor (ASIP) baseline.
+
+An extensible processor selects SI implementations **once, at design
+time**, and fabricates dedicated hardware for them: every selected SI is
+always fast, every unselected SI always runs as software, and the silicon
+for *all* selected SIs is paid simultaneously (no rotation, no sharing
+over time).  This is the comparison target of Fig. 1 (area) and the
+"fixed SI implementations at design-time" limitation Fig. 13 calls out.
+
+Design-time selection reuses the same molecule-selection algorithm as the
+run-time system — the difference is purely *when* it runs and that the
+choice can never adapt afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from ..core.library import SILibrary
+from ..core.molecule import Molecule
+from ..core.selection import ForecastedSI, SelectionResult, select_greedy
+from ..core.si import MoleculeImpl
+
+
+@dataclass
+class ExtensibleProcessor:
+    """A design-time-fixed configuration of SI hardware."""
+
+    library: SILibrary
+    chosen: dict[str, MoleculeImpl | None]
+    area_molecule: Molecule
+    #: Dedicated hardware area: the *sum* of the chosen molecules (no
+    #: sharing across SIs — each SI gets its own data path).
+    dedicated_atoms: int = field(default=0)
+
+    @classmethod
+    def design(
+        cls,
+        library: SILibrary,
+        workload: Iterable[ForecastedSI],
+        atom_budget: int,
+        *,
+        share_atoms: bool = False,
+    ) -> "ExtensibleProcessor":
+        """Pick the fixed SI set for an expected workload profile.
+
+        ``share_atoms=False`` (the default, and the realistic ASIP model)
+        accounts each SI's data path separately; with ``share_atoms=True``
+        the comparison becomes RISPP-like spatial sharing at design time.
+        """
+        workload = list(workload)
+        if share_atoms:
+            result: SelectionResult = select_greedy(library, workload, atom_budget)
+            chosen = result.chosen
+        else:
+            chosen = _select_dedicated(library, workload, atom_budget)
+        area = library.space.zero()
+        dedicated = 0
+        for impl in chosen.values():
+            if impl is None:
+                continue
+            rc = library.restricted_to_reconfigurable(impl.molecule)
+            area = area | rc
+            dedicated += abs(rc)
+        return cls(
+            library=library,
+            chosen=chosen,
+            area_molecule=area,
+            dedicated_atoms=dedicated,
+        )
+
+    def si_cycles(self, si_name: str) -> int:
+        """Latency of one SI execution on this fixed processor."""
+        impl = self.chosen.get(si_name)
+        if impl is None:
+            return self.library.get(si_name).software_cycles
+        return impl.cycles
+
+    def execute_workload(self, executions: dict[str, int]) -> int:
+        """Total SI cycles for a given execution-count profile."""
+        total = 0
+        for name, count in executions.items():
+            if count < 0:
+                raise ValueError("execution counts cannot be negative")
+            total += count * self.si_cycles(name)
+        return total
+
+
+def _select_dedicated(
+    library: SILibrary,
+    workload: list[ForecastedSI],
+    atom_budget: int,
+) -> dict[str, MoleculeImpl | None]:
+    """Greedy design-time selection with per-SI dedicated hardware.
+
+    Each SI's molecule is charged its full atom count (sum, not
+    supremum): dedicated data paths cannot share atom instances.
+    """
+    if atom_budget < 0:
+        raise ValueError("atom budget cannot be negative")
+    chosen: dict[str, MoleculeImpl | None] = {
+        w.si.name: None for w in workload
+    }
+    used = 0
+
+    def gain(w: ForecastedSI, impl: MoleculeImpl | None) -> float:
+        if impl is None:
+            return 0.0
+        return w.expected_executions * max(w.si.software_cycles - impl.cycles, 0)
+
+    while True:
+        best = None
+        for w in workload:
+            current = chosen[w.si.name]
+            current_cost = (
+                0
+                if current is None
+                else abs(library.restricted_to_reconfigurable(current.molecule))
+            )
+            current_gain = gain(w, current)
+            for impl in w.si.implementations:
+                cost = abs(library.restricted_to_reconfigurable(impl.molecule))
+                extra = cost - current_cost
+                delta = gain(w, impl) - current_gain
+                if delta <= 0 or used + extra > atom_budget:
+                    continue
+                score = delta / (extra + 0.5)
+                if best is None or score > best[0]:
+                    best = (score, w.si.name, impl, extra)
+        if best is None:
+            return chosen
+        _, name, impl, extra = best
+        chosen[name] = impl
+        used += extra

@@ -1,0 +1,27 @@
+"""The pure-software baseline: every SI runs as its optimised software
+molecule on the plain core (Fig. 11/12's "Opt. SW" bars)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.library import SILibrary
+
+
+@dataclass
+class SoftwareProcessor:
+    """A core with no SI hardware at all."""
+
+    library: SILibrary
+
+    def si_cycles(self, si_name: str) -> int:
+        return self.library.get(si_name).software_cycles
+
+    def execute_workload(self, executions: dict[str, int]) -> int:
+        """Total SI cycles for a given execution-count profile."""
+        total = 0
+        for name, count in executions.items():
+            if count < 0:
+                raise ValueError("execution counts cannot be negative")
+            total += count * self.si_cycles(name)
+        return total

@@ -1,0 +1,42 @@
+"""Control-flow-graph substrate: BB graphs, SCCs, probabilities, distances.
+
+Everything the compile-time forecast pipeline (:mod:`repro.forecast`)
+needs to know about the application's basic-block structure and profile.
+"""
+
+from .dominators import (
+    common_dominator,
+    dominates,
+    dominators_of,
+    forecast_covers_usage,
+    immediate_dominators,
+)
+from .distance import expected_distance, max_distance, min_distance
+from .graph import BasicBlock, ControlFlowGraph, Edge
+from .probability import reach_probability_markov, reach_probability_scc
+from .profile import SIStats, collect_si_stats, expected_si_executions, profile_from_trace
+from .scc import Condensation, SCCNode, condense, strongly_connected_components
+
+__all__ = [
+    "BasicBlock",
+    "Condensation",
+    "ControlFlowGraph",
+    "Edge",
+    "SCCNode",
+    "SIStats",
+    "collect_si_stats",
+    "common_dominator",
+    "condense",
+    "dominates",
+    "dominators_of",
+    "expected_distance",
+    "expected_si_executions",
+    "forecast_covers_usage",
+    "immediate_dominators",
+    "max_distance",
+    "min_distance",
+    "profile_from_trace",
+    "reach_probability_markov",
+    "reach_probability_scc",
+    "strongly_connected_components",
+]

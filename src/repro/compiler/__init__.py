@@ -1,0 +1,35 @@
+"""Design-time compiler passes: SI identification and generation.
+
+The automation the paper names as adjacent/future work (§6): enumerate
+candidate Special Instructions in a basic block's operation graph under
+register-port constraints ([17]/[18]-style), then emit rotatable SIs with
+auto-generated molecule catalogues.
+"""
+
+from .emit import (
+    DEFAULT_KIND_MAP,
+    candidate_dataflow,
+    catalogue_for_candidate,
+    si_from_candidate,
+)
+from .identify import (
+    Constraints,
+    SICandidate,
+    best_candidates,
+    enumerate_si_candidates,
+)
+from .opgraph import Operation, OperationGraph, is_external
+
+__all__ = [
+    "Constraints",
+    "DEFAULT_KIND_MAP",
+    "Operation",
+    "OperationGraph",
+    "SICandidate",
+    "best_candidates",
+    "candidate_dataflow",
+    "catalogue_for_candidate",
+    "enumerate_si_candidates",
+    "is_external",
+    "si_from_candidate",
+]

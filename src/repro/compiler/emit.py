@@ -1,0 +1,131 @@
+"""From SI candidate to rotatable Special Instruction.
+
+The back half of the automatic flow: take an identified
+:class:`~repro.compiler.identify.SICandidate`, group its operations into
+Atom kinds (a ``kind_map`` decides which operation classes share one
+reusable data path — e.g. ``add``/``sub`` both map onto a butterfly
+Atom, exactly how Fig. 9's Transform serves three different transforms),
+build the Atom-level dataflow, and let :mod:`repro.core.molgen` generate
+the molecule catalogue.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core.atom import AtomCatalogue, AtomKind
+from ..core.molgen import GenerationReport, generate_si
+from ..core.schedule import AtomOp, Dataflow
+from ..core.si import SpecialInstruction
+from .identify import SICandidate
+from .opgraph import OperationGraph
+
+#: Default grouping of operation classes into Atom kinds: arithmetic
+#: add/sub share a butterfly-style data path; shifts share the shifter.
+DEFAULT_KIND_MAP: dict[str, str] = {
+    "add": "AddSub",
+    "sub": "AddSub",
+    "shl": "Shift",
+    "shr": "Shift",
+    "abs": "AbsAcc",
+    "acc": "AbsAcc",
+    "mul": "Mult",
+    "xor": "XorNet",
+    "and": "BitOps",
+    "or": "BitOps",
+    "min": "MinMax",
+    "max": "MinMax",
+}
+
+#: Synthetic bitstream size per auto-generated Atom kind (bytes) — sized
+#: like the Table 1 atoms so rotation latencies stay realistic.
+DEFAULT_BITSTREAM_BYTES = 58_000
+
+
+def candidate_dataflow(
+    graph: OperationGraph,
+    candidate: SICandidate,
+    kind_map: Mapping[str, str] | None = None,
+) -> Dataflow:
+    """The Atom-level dataflow of one candidate (deps within the subset)."""
+    mapping = dict(DEFAULT_KIND_MAP)
+    if kind_map:
+        mapping.update(kind_map)
+    ops = []
+    for op_id in sorted(candidate.ops):
+        op = graph.get(op_id)
+        atom_kind = mapping.get(op.kind, op.kind.capitalize())
+        deps = tuple(
+            p for p in graph.producers(op_id) if p in candidate.ops
+        )
+        ops.append(AtomOp(op_id, atom_kind, deps, latency=op.hw_latency))
+    return Dataflow(ops)
+
+
+def catalogue_for_candidate(
+    graph: OperationGraph,
+    candidate: SICandidate,
+    kind_map: Mapping[str, str] | None = None,
+    *,
+    bitstream_bytes: int = DEFAULT_BITSTREAM_BYTES,
+) -> AtomCatalogue:
+    """An atom catalogue covering exactly the candidate's Atom kinds."""
+    dataflow = candidate_dataflow(graph, candidate, kind_map)
+    kinds = sorted(dataflow.executions_per_kind())
+    return AtomCatalogue.of(
+        [
+            AtomKind(
+                kind,
+                bitstream_bytes=bitstream_bytes,
+                description="auto-generated from an identified SI",
+            )
+            for kind in kinds
+        ]
+    )
+
+
+def si_from_candidate(
+    name: str,
+    graph: OperationGraph,
+    candidate: SICandidate,
+    *,
+    kind_map: Mapping[str, str] | None = None,
+    catalogue: AtomCatalogue | None = None,
+    software_cycles: int | None = None,
+    counts_allowed: tuple[int, ...] | None = (1, 2, 4),
+    issue_overhead: int = 1,
+) -> tuple[SpecialInstruction, AtomCatalogue, GenerationReport]:
+    """Generate a complete SI (with molecule catalogue) from a candidate.
+
+    ``catalogue`` may supply an existing architecture (the new SI then
+    shares its atom space); otherwise a minimal catalogue covering the
+    candidate's kinds is created.  ``software_cycles`` defaults to the
+    candidate's measured core latency.
+    """
+    dataflow = candidate_dataflow(graph, candidate, kind_map)
+    if catalogue is None:
+        catalogue = catalogue_for_candidate(graph, candidate, kind_map)
+    else:
+        missing = [
+            k
+            for k in dataflow.executions_per_kind()
+            if k not in catalogue
+        ]
+        if missing:
+            raise ValueError(
+                f"the supplied catalogue lacks atom kinds {missing}"
+            )
+    sw = software_cycles if software_cycles is not None else candidate.software_cycles
+    si, report = generate_si(
+        name,
+        dataflow,
+        catalogue.space,
+        sw,
+        counts_allowed=counts_allowed,
+        issue_overhead=issue_overhead,
+        description=(
+            f"identified SI over ops {sorted(candidate.ops)}; "
+            f"{len(candidate.inputs)} inputs, {len(candidate.outputs)} outputs"
+        ),
+    )
+    return si, catalogue, report

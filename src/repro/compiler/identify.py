@@ -1,0 +1,195 @@
+"""SI identification: enumerate candidate instruction-set extensions.
+
+Implements the flavour of automatic SI detection the paper points to
+([17] Atasu/Pozzi/Ienne DAC'03, [18] Sun et al. ICCAD'03): enumerate
+*connected, convex* subgraphs of a basic block's operation graph under
+the core's micro-architectural constraints (register-file read/write
+ports bound the subgraph's inputs/outputs; memory and control operations
+stay on the core), estimate each candidate's speed-up, and rank them.
+
+The chosen candidate can then be handed to
+:func:`repro.compiler.emit.si_from_candidate`, which groups operations
+into Atom kinds and generates the molecule catalogue automatically —
+closing the loop from plain code to a rotatable SI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .opgraph import OperationGraph
+
+#: Operation kinds that must stay on the core by default.
+DEFAULT_FORBIDDEN_KINDS = frozenset({"load", "store", "branch", "call"})
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Micro-architectural bounds for SI candidates.
+
+    ``max_inputs``/``max_outputs`` model the register-file ports available
+    to the SI interface (the paper's prototype extends the execution data
+    path of a DLX, giving it the usual 2-read/1-write plus the packed
+    32-bit trick — configurable here).  ``io_overhead_cycles`` prices
+    operand marshalling per SI execution.
+    """
+
+    max_inputs: int = 4
+    max_outputs: int = 2
+    max_ops: int = 16
+    min_ops: int = 2
+    io_overhead_cycles: int = 1
+    forbidden_kinds: frozenset[str] = DEFAULT_FORBIDDEN_KINDS
+
+    def __post_init__(self) -> None:
+        if self.max_inputs < 1 or self.max_outputs < 1:
+            raise ValueError("an SI needs at least one input and one output")
+        if self.min_ops < 1 or self.max_ops < self.min_ops:
+            raise ValueError("invalid operation-count bounds")
+        if self.io_overhead_cycles < 0:
+            raise ValueError("I/O overhead cannot be negative")
+
+
+@dataclass(frozen=True)
+class SICandidate:
+    """One candidate special instruction."""
+
+    ops: frozenset[str]
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    software_cycles: int
+    hardware_cycles: int
+    kinds: dict[str, int] = field(hash=False, default_factory=dict)
+
+    @property
+    def saved_cycles(self) -> int:
+        return self.software_cycles - self.hardware_cycles
+
+    @property
+    def speedup(self) -> float:
+        return self.software_cycles / max(self.hardware_cycles, 1)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def _neighbours(graph: OperationGraph, subset: frozenset[str]) -> set[str]:
+    out: set[str] = set()
+    for op_id in subset:
+        out.update(graph.producers(op_id))
+        out.update(graph.consumers(op_id))
+        # Operand-sharing siblings: enables MIMO patterns with
+        # dataflow-independent halves (e.g. the add/sub butterfly).
+        out.update(graph.operand_siblings(op_id))
+    return out - subset
+
+
+def enumerate_si_candidates(
+    graph: OperationGraph,
+    constraints: Constraints | None = None,
+    *,
+    max_candidates: int = 10_000,
+) -> list[SICandidate]:
+    """All connected convex subgraphs satisfying the constraints, ranked.
+
+    Breadth-first subgraph growth from every seed operation with
+    de-duplication; convexity and the I/O bounds are checked on each
+    candidate, growth stops at ``max_ops``.  Ranking: saved cycles
+    (including the I/O overhead), ties towards fewer operations.
+    """
+    constraints = constraints or Constraints()
+    allowed = {
+        op.op_id
+        for op in graph
+        if op.kind not in constraints.forbidden_kinds
+    }
+    seen: set[frozenset[str]] = set()
+    results: list[SICandidate] = []
+    frontier: list[frozenset[str]] = []
+    for seed in sorted(allowed):
+        subset = frozenset({seed})
+        if subset not in seen:
+            seen.add(subset)
+            frontier.append(subset)
+
+    while frontier:
+        subset = frontier.pop()
+        if len(subset) < constraints.max_ops:
+            for neighbour in sorted(_neighbours(graph, subset) & allowed):
+                grown = subset | {neighbour}
+                if grown in seen:
+                    continue
+                seen.add(grown)
+                if len(seen) > max_candidates:
+                    raise RuntimeError(
+                        "candidate explosion; tighten the constraints"
+                    )
+                frontier.append(grown)
+        if len(subset) < constraints.min_ops:
+            continue
+        candidate = _evaluate(graph, subset, constraints)
+        if candidate is not None:
+            results.append(candidate)
+
+    results.sort(key=lambda c: (-c.saved_cycles, len(c.ops), sorted(c.ops)))
+    return results
+
+
+def _evaluate(
+    graph: OperationGraph,
+    subset: frozenset[str],
+    constraints: Constraints,
+) -> SICandidate | None:
+    if not graph.is_convex(subset):
+        return None
+    inputs = graph.inputs_of(subset)
+    outputs = graph.outputs_of(subset)
+    if len(inputs) > constraints.max_inputs:
+        return None
+    if len(outputs) > constraints.max_outputs:
+        return None
+    software = graph.software_cycles(subset)
+    hardware = graph.critical_path_cycles(subset) + constraints.io_overhead_cycles
+    if hardware >= software:
+        return None
+    return SICandidate(
+        ops=subset,
+        inputs=tuple(sorted(inputs)),
+        outputs=tuple(sorted(outputs)),
+        software_cycles=software,
+        hardware_cycles=hardware,
+        kinds=graph.kinds_of(subset),
+    )
+
+
+def best_candidates(
+    graph: OperationGraph,
+    constraints: Constraints | None = None,
+    *,
+    count: int = 5,
+    overlap: bool = False,
+    max_candidates: int = 10_000,
+) -> list[SICandidate]:
+    """The top candidates; without ``overlap`` they are mutually disjoint.
+
+    Greedy cover: the classic post-pass after enumeration — each selected
+    SI removes its operations from the pool so the next pick accelerates
+    *different* code.
+    """
+    if count < 1:
+        raise ValueError("need at least one candidate")
+    ranked = enumerate_si_candidates(
+        graph, constraints, max_candidates=max_candidates
+    )
+    if overlap:
+        return ranked[:count]
+    chosen: list[SICandidate] = []
+    used: set[str] = set()
+    for candidate in ranked:
+        if candidate.ops & used:
+            continue
+        chosen.append(candidate)
+        used |= candidate.ops
+        if len(chosen) == count:
+            break
+    return chosen

@@ -1,0 +1,214 @@
+"""Operation-level dataflow graphs of basic blocks.
+
+The SI-identification pass (paper §6: "Automatic detection and generation
+of SIs might be done similar to [17] or [18]") operates below the Atom
+level: on the scalar operations of a hot basic block.  An
+:class:`OperationGraph` is a DAG of :class:`Operation` nodes; candidate
+SIs are *convex* subgraphs (no dataflow path may leave the subgraph and
+re-enter it — otherwise the SI could not execute atomically) within the
+core's register-port constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+
+def is_external(operand: str) -> bool:
+    """External values (block inputs) are written ``%name``."""
+    return operand.startswith("%")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One scalar operation.
+
+    Parameters
+    ----------
+    op_id:
+        Unique name within the graph.
+    kind:
+        Operation class (``add``, ``sub``, ``shl``, ``mul``, ``abs``,
+        ``load``, ...).
+    operands:
+        Producing operation ids, or ``%name`` for block-external inputs.
+    latency:
+        Software latency on the core, cycles (issue + execute).
+    hw_latency:
+        Latency of the operation inside a custom data path, cycles —
+        chained logic typically fits one level per cycle regardless of
+        the core's per-instruction cost.
+    """
+
+    op_id: str
+    kind: str
+    operands: tuple[str, ...] = ()
+    latency: int = 1
+    hw_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.op_id or is_external(self.op_id):
+            raise ValueError("operation ids must be non-empty and not external")
+        if not self.kind:
+            raise ValueError("operation needs a kind")
+        if self.latency < 1 or self.hw_latency < 1:
+            raise ValueError("latencies must be at least one cycle")
+
+
+class OperationGraph:
+    """An acyclic graph of scalar operations with designated live-outs."""
+
+    def __init__(self, ops: Iterable[Operation], live_outs: Iterable[str] = ()):
+        self._ops: dict[str, Operation] = {}
+        for op in ops:
+            if op.op_id in self._ops:
+                raise ValueError(f"duplicate operation {op.op_id!r}")
+            self._ops[op.op_id] = op
+        for op in self._ops.values():
+            for operand in op.operands:
+                if not is_external(operand) and operand not in self._ops:
+                    raise ValueError(
+                        f"operation {op.op_id!r} uses unknown producer {operand!r}"
+                    )
+        self.live_outs = tuple(live_outs)
+        for out in self.live_outs:
+            if out not in self._ops:
+                raise ValueError(f"live-out {out!r} is not an operation")
+        self._consumers: dict[str, list[str]] = {o: [] for o in self._ops}
+        for op in self._ops.values():
+            for operand in op.operands:
+                if not is_external(operand):
+                    self._consumers[operand].append(op.op_id)
+        self._order = self._topological_order()
+        self._descendants = self._compute_descendants()
+
+    # -- structure ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops.values())
+
+    def __contains__(self, op_id: object) -> bool:
+        return op_id in self._ops
+
+    def get(self, op_id: str) -> Operation:
+        return self._ops[op_id]
+
+    def op_ids(self) -> list[str]:
+        return list(self._ops)
+
+    def consumers(self, op_id: str) -> list[str]:
+        return list(self._consumers[op_id])
+
+    def producers(self, op_id: str) -> list[str]:
+        return [o for o in self._ops[op_id].operands if not is_external(o)]
+
+    def _topological_order(self) -> list[str]:
+        indegree = {
+            op_id: len(self.producers(op_id)) for op_id in self._ops
+        }
+        ready = sorted(o for o, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while ready:
+            op_id = ready.pop(0)
+            order.append(op_id)
+            for consumer in self._consumers[op_id]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+            ready.sort()
+        if len(order) != len(self._ops):
+            raise ValueError("operation graph contains a cycle")
+        return order
+
+    def _compute_descendants(self) -> dict[str, frozenset[str]]:
+        desc: dict[str, frozenset[str]] = {}
+        for op_id in reversed(self._order):
+            acc: set[str] = set()
+            for consumer in self._consumers[op_id]:
+                acc.add(consumer)
+                acc |= desc[consumer]
+            desc[op_id] = frozenset(acc)
+        return desc
+
+    # -- subgraph queries -------------------------------------------------------
+
+    def inputs_of(self, subset: frozenset[str]) -> set[str]:
+        """Values flowing *into* the subset (externals + outside producers)."""
+        inputs: set[str] = set()
+        for op_id in subset:
+            for operand in self._ops[op_id].operands:
+                if is_external(operand) or operand not in subset:
+                    inputs.add(operand)
+        return inputs
+
+    def outputs_of(self, subset: frozenset[str]) -> set[str]:
+        """Subset operations whose value is needed outside the subset."""
+        outputs: set[str] = set()
+        for op_id in subset:
+            if op_id in self.live_outs:
+                outputs.add(op_id)
+                continue
+            if any(c not in subset for c in self._consumers[op_id]):
+                outputs.add(op_id)
+        return outputs
+
+    def is_convex(self, subset: frozenset[str]) -> bool:
+        """No dataflow path leaves the subset and re-enters it."""
+        for outside in self._ops:
+            if outside in subset:
+                continue
+            has_ancestor_inside = any(
+                outside in self._descendants[s] for s in subset
+            )
+            if not has_ancestor_inside:
+                continue
+            if self._descendants[outside] & subset:
+                return False
+        return True
+
+    def software_cycles(self, subset: frozenset[str]) -> int:
+        """Sequential core execution: the sum of the operations' latencies."""
+        return sum(self._ops[o].latency for o in subset)
+
+    def critical_path_cycles(self, subset: frozenset[str]) -> int:
+        """Fully spatial hardware execution of the subset (hw latencies)."""
+        finish: dict[str, int] = {}
+        for op_id in self._order:
+            if op_id not in subset:
+                continue
+            op = self._ops[op_id]
+            start = max(
+                (finish[p] for p in op.operands if p in subset),
+                default=0,
+            )
+            finish[op_id] = start + op.hw_latency
+        return max(finish.values(), default=0)
+
+    def operand_siblings(self, op_id: str) -> set[str]:
+        """Operations sharing at least one operand with ``op_id``.
+
+        Sibling adjacency lets the candidate search assemble
+        multiple-output patterns whose halves are dataflow-independent but
+        read the same values — like the transform butterfly, where
+        ``e0 = x0 + x3`` and ``e3 = x0 - x3`` share both inputs.
+        """
+        siblings: set[str] = set()
+        for operand in self._ops[op_id].operands:
+            for other in self._ops:
+                if other == op_id:
+                    continue
+                if operand in self._ops[other].operands:
+                    siblings.add(other)
+        return siblings
+
+    def kinds_of(self, subset: frozenset[str]) -> dict[str, int]:
+        """Operation-kind histogram of the subset."""
+        counts: dict[str, int] = {}
+        for op_id in subset:
+            kind = self._ops[op_id].kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts

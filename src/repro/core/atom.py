@@ -1,0 +1,133 @@
+"""Atom kind descriptors.
+
+An *Atom* is an elementary, reusable data path (paper section 3).  This
+module holds the architecture-level descriptor: a name, whether the atom
+occupies a partially reconfigurable Atom Container (AC) or is part of the
+static fabric (the paper's ``Load``/``Add``/``Store`` helpers live in the
+static data path, while ``QuadSub``/``Pack``/``Transform``/``SATD`` are
+rotated through ACs), and optional hardware figures used by the
+reconfiguration model (bitstream size determines rotation time).
+
+Behavioural implementations of concrete atoms (what they *compute*) live
+with the application that defines them, e.g. ``repro.apps.h264.atoms``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable
+
+from .molecule import AtomSpace
+
+
+@dataclass(frozen=True)
+class AtomKind:
+    """Architecture-level description of one Atom kind.
+
+    Parameters
+    ----------
+    name:
+        Unique atom-kind name (e.g. ``"Transform"``).
+    reconfigurable:
+        ``True`` when instances of this atom are rotated through Atom
+        Containers; ``False`` for atoms hard-wired into the static fabric.
+    bitstream_bytes:
+        Size of the partial bitstream that configures one instance into an
+        AC.  Determines rotation latency; irrelevant (0) for static atoms.
+    slices, luts:
+        FPGA resource usage of one instance (Table 1); informational for
+        static atoms.
+    latency_cycles:
+        Latency of one execution of the atom's data path, in core cycles.
+    baseline:
+        Instances of this kind provided by the *static* fabric even when
+        no container holds it (e.g. the case study's single built-in
+        ``Load`` lane; extra ``Load`` atoms can still be rotated into
+        containers on top).  Only meaningful for reconfigurable kinds —
+        static kinds are always available at the fabric's multiplicity.
+    description:
+        Optional human-readable summary of the data path.
+    """
+
+    name: str
+    reconfigurable: bool = True
+    bitstream_bytes: int = 0
+    slices: int = 0
+    luts: int = 0
+    latency_cycles: int = 1
+    baseline: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("atom kind needs a non-empty name")
+        if self.bitstream_bytes < 0 or self.slices < 0 or self.luts < 0:
+            raise ValueError("hardware figures must be non-negative")
+        if self.latency_cycles < 1:
+            raise ValueError("latency must be at least one cycle")
+        if not self.reconfigurable and self.bitstream_bytes:
+            raise ValueError("static atoms have no partial bitstream")
+        if self.baseline < 0:
+            raise ValueError("baseline cannot be negative")
+        if not self.reconfigurable and self.baseline:
+            raise ValueError(
+                "static atoms are always available; baseline applies only "
+                "to reconfigurable kinds"
+            )
+
+
+@dataclass(frozen=True)
+class AtomCatalogue:
+    """An ordered collection of :class:`AtomKind` forming one architecture.
+
+    Provides the :class:`~repro.core.molecule.AtomSpace` the molecules of
+    this architecture live in, plus convenient kind lookups.
+    """
+
+    kinds: tuple[AtomKind, ...]
+    _by_name: dict[str, AtomKind] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, AtomKind] = {}
+        for kind in self.kinds:
+            if kind.name in by_name:
+                raise ValueError(f"duplicate atom kind {kind.name!r}")
+            by_name[kind.name] = kind
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def of(cls, kinds: Iterable[AtomKind]) -> "AtomCatalogue":
+        return cls(tuple(kinds))
+
+    def __iter__(self):
+        return iter(self.kinds)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> AtomKind:
+        """Look up an atom kind by name; raises ``KeyError`` if unknown."""
+        return self._by_name[name]
+
+    @property
+    def space(self) -> AtomSpace:
+        """The molecule vector space spanned by this catalogue."""
+        return AtomSpace(kind.name for kind in self.kinds)
+
+    def reconfigurable_kinds(self) -> tuple[AtomKind, ...]:
+        """Atom kinds that occupy Atom Containers."""
+        return tuple(k for k in self.kinds if k.reconfigurable)
+
+    def static_kinds(self) -> tuple[AtomKind, ...]:
+        """Atom kinds hard-wired into the static fabric."""
+        return tuple(k for k in self.kinds if not k.reconfigurable)
+
+    def reconfigurable_names(self) -> tuple[str, ...]:
+        return tuple(k.name for k in self.kinds if k.reconfigurable)
+
+    def baseline_counts(self) -> dict[str, int]:
+        """Static-fabric instances of reconfigurable kinds (``baseline``)."""
+        return {k.name: k.baseline for k in self.kinds if k.reconfigurable}

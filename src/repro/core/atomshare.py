@@ -1,0 +1,148 @@
+"""Reusable-Atom discovery (paper future work, §6 / reference [31]).
+
+"For future work we consider automatic generation of reusable Atoms by
+e.g. methods for finding the longest common subsequence of multiple
+sequences."  This module implements that idea: each SI is described as
+the sequence of primitive operations its data path performs; common
+subsequences across SIs are candidate shared Atoms (the longer the
+subsequence and the more SIs it serves, the more silicon one reusable
+Atom saves).
+
+The pairwise longest common subsequence is exact dynamic programming; for
+more than two sequences the classic greedy fold (LCS of the running
+result with the next sequence) is used — the same heuristic family the
+referenced work employs, exact for two SIs and a lower bound beyond.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+
+def longest_common_subsequence(a: Sequence[str], b: Sequence[str]) -> list[str]:
+    """Exact LCS of two operation sequences (dynamic programming)."""
+    n, m = len(a), len(b)
+    if not n or not m:
+        return []
+    table = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                table[i][j] = 1 + table[i + 1][j + 1]
+            else:
+                table[i][j] = max(table[i + 1][j], table[i][j + 1])
+    out: list[str] = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif table[i + 1][j] >= table[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def common_subsequence(sequences: Sequence[Sequence[str]]) -> list[str]:
+    """Greedy multi-sequence common subsequence (LCS fold)."""
+    if not sequences:
+        raise ValueError("need at least one sequence")
+    result = list(sequences[0])
+    for seq in sequences[1:]:
+        result = longest_common_subsequence(result, seq)
+        if not result:
+            break
+    return result
+
+
+@dataclass(frozen=True)
+class AtomProposal:
+    """One candidate reusable Atom."""
+
+    operations: tuple[str, ...]
+    served_sis: tuple[str, ...]
+    #: Operations saved by sharing: (#SIs - 1) * len(operations).
+    saving: int
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def suggest_shared_atoms(
+    si_sequences: Mapping[str, Sequence[str]],
+    *,
+    min_length: int = 2,
+    min_sis: int = 2,
+) -> list[AtomProposal]:
+    """Propose reusable Atoms across a set of SI operation sequences.
+
+    For every subset of SIs (largest first), the common subsequence is
+    computed; subsequences of at least ``min_length`` operations shared
+    by at least ``min_sis`` SIs become proposals, ranked by the silicon
+    saving ``(#SIs - 1) * length``.  Proposals whose operation sequence
+    and SI set are both covered by a stronger proposal are dropped.
+    """
+    if min_length < 1 or min_sis < 2:
+        raise ValueError("min_length must be >=1 and min_sis >=2")
+    names = sorted(si_sequences)
+    if len(names) < min_sis:
+        return []
+    proposals: list[AtomProposal] = []
+    for size in range(len(names), min_sis - 1, -1):
+        for subset in itertools.combinations(names, size):
+            seqs = [list(si_sequences[n]) for n in subset]
+            common = common_subsequence(seqs)
+            if len(common) < min_length:
+                continue
+            proposals.append(
+                AtomProposal(
+                    operations=tuple(common),
+                    served_sis=tuple(subset),
+                    saving=(size - 1) * len(common),
+                )
+            )
+    # Deduplicate: drop proposals subsumed by a proposal serving a
+    # superset of SIs with a super- or equal sequence.
+    kept: list[AtomProposal] = []
+    proposals.sort(key=lambda p: (-p.saving, -len(p), p.served_sis))
+    for p in proposals:
+        subsumed = False
+        for q in kept:
+            if set(p.served_sis) <= set(q.served_sis) and _is_subsequence(
+                p.operations, q.operations
+            ):
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(p)
+    return kept
+
+
+def _is_subsequence(small: Sequence[str], big: Sequence[str]) -> bool:
+    it = iter(big)
+    return all(op in it for op in small)
+
+
+#: The Fig. 9 story as data: the three H.264 transforms share their
+#: add/subtract butterfly; only the shift elements differ.  Feeding these
+#: sequences to :func:`suggest_shared_atoms` re-discovers the reusable
+#: Transform atom.
+H264_TRANSFORM_SEQUENCES: dict[str, tuple[str, ...]] = {
+    "DCT_4x4": (
+        "add", "add", "sub", "sub",      # butterfly stage 1 (e0..e3)
+        "add", "shl", "add", "sub", "shl", "sub",  # stage 2 with <<1
+    ),
+    "HT_4x4": (
+        "add", "add", "sub", "sub",
+        "add", "add", "sub", "sub",
+        "shr",                            # >>1 output shifters
+    ),
+    "HT_2x2": (
+        "add", "add", "sub", "sub",
+        "add", "add", "sub", "sub",
+    ),
+}

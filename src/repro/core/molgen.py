@@ -1,0 +1,160 @@
+"""Automatic Molecule generation (paper future work, §6).
+
+The paper designs its molecules manually and notes that "automatic
+detection and generation of SIs might be done similar to [17] or [18]".
+This module automates the *molecule-catalogue* half of that flow: given
+an SI's atomic-operation dataflow, it enumerates candidate Atom-count
+vectors, prices each with the resource-constrained list scheduler, and
+keeps only the Pareto-useful implementations — producing a Table 2-style
+catalogue without hand tuning.
+
+The search space is bounded naturally: offering more instances of a kind
+than the dataflow can ever use in parallel cannot help, so each kind is
+capped by its maximum per-stage parallelism (and an optional global cap).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .molecule import AtomSpace
+from .schedule import Dataflow, estimate_cycles
+from .si import MoleculeImpl, SpecialInstruction
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """What the enumeration explored and kept."""
+
+    explored: int
+    kept: int
+    pruned_dominated: int
+
+
+def _parallelism_caps(dataflow: Dataflow) -> dict[str, int]:
+    """Max concurrently-runnable operations per kind (stage-wise bound)."""
+    # An upper bound: the total executions per kind (exact per-stage
+    # concurrency analysis would need level information; the scheduler
+    # prunes useless surplus anyway).
+    return dataflow.executions_per_kind()
+
+
+def enumerate_molecules(
+    dataflow: Dataflow,
+    space: AtomSpace,
+    *,
+    max_per_kind: int | None = None,
+    unconstrained_kinds: tuple[str, ...] = (),
+    issue_overhead: int = 0,
+    counts_allowed: tuple[int, ...] | None = None,
+) -> tuple[list[MoleculeImpl], GenerationReport]:
+    """Enumerate and price all useful molecules of one dataflow.
+
+    Parameters
+    ----------
+    max_per_kind:
+        Global cap on instances per kind (defaults to each kind's
+        execution count — beyond that nothing can improve).
+    unconstrained_kinds:
+        Kinds provided by the static fabric (not enumerated; unlimited).
+    counts_allowed:
+        Restrict instance counts to these values (the paper's catalogue
+        uses {1, 2, 4}: power-of-two replication matches the butterfly
+        dataflows).  ``None`` allows every count up to the cap.
+
+    Returns the Pareto-pruned implementations (sorted by atoms, then
+    cycles) and a :class:`GenerationReport`.
+    """
+    needed = dataflow.executions_per_kind()
+    kinds = [k for k in space.kinds if k in needed and k not in unconstrained_kinds]
+    if not kinds:
+        raise ValueError("dataflow uses no enumerable atom kinds")
+    caps = _parallelism_caps(dataflow)
+    ranges = []
+    for kind in kinds:
+        cap = caps[kind]
+        if max_per_kind is not None:
+            cap = min(cap, max_per_kind)
+        values = [v for v in range(1, cap + 1)]
+        if counts_allowed is not None:
+            values = [v for v in values if v in counts_allowed]
+            if not values:
+                raise ValueError(
+                    f"counts_allowed leaves no option for kind {kind!r}"
+                )
+        ranges.append(values)
+
+    candidates: list[MoleculeImpl] = []
+    explored = 0
+    for combo in itertools.product(*ranges):
+        explored += 1
+        molecule = space.molecule(dict(zip(kinds, combo)))
+        cycles = estimate_cycles(
+            dataflow,
+            molecule,
+            unconstrained_kinds=unconstrained_kinds,
+            issue_overhead=issue_overhead,
+        )
+        label = " ".join(f"{k[:2]}{c}" for k, c in zip(kinds, combo))
+        candidates.append(MoleculeImpl(molecule, cycles, label=label))
+
+    kept = prune_dominated(candidates)
+    report = GenerationReport(
+        explored=explored,
+        kept=len(kept),
+        pruned_dominated=explored - len(kept),
+    )
+    return kept, report
+
+
+def prune_dominated(impls: list[MoleculeImpl]) -> list[MoleculeImpl]:
+    """Drop implementations dominated in (molecule, cycles).
+
+    ``a`` dominates ``b`` when ``a.molecule <= b.molecule`` and
+    ``a.cycles <= b.cycles`` with at least one strict inequality: ``b``
+    costs at least as many atoms *of every kind* and is not faster.
+    """
+    kept: list[MoleculeImpl] = []
+    for b in impls:
+        dominated = False
+        for a in impls:
+            if a is b:
+                continue
+            if a.molecule <= b.molecule and a.cycles <= b.cycles and (
+                a.molecule != b.molecule or a.cycles < b.cycles
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(b)
+    # Deduplicate identical survivors, keep deterministic order.
+    seen: set[tuple[tuple[int, ...], int]] = set()
+    unique: list[MoleculeImpl] = []
+    for impl in sorted(kept, key=lambda i: (i.atoms(), i.cycles, i.molecule.counts)):
+        key = (impl.molecule.counts, impl.cycles)
+        if key not in seen:
+            seen.add(key)
+            unique.append(impl)
+    return unique
+
+
+def generate_si(
+    name: str,
+    dataflow: Dataflow,
+    space: AtomSpace,
+    software_cycles: int,
+    *,
+    description: str = "",
+    **enumeration_options,
+) -> tuple[SpecialInstruction, GenerationReport]:
+    """Build a complete SI with an auto-generated molecule catalogue."""
+    impls, report = enumerate_molecules(dataflow, space, **enumeration_options)
+    si = SpecialInstruction(
+        name,
+        space,
+        software_cycles,
+        impls,
+        description=description or f"auto-generated from a {len(dataflow)}-op dataflow",
+    )
+    return si, report

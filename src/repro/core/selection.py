@@ -1,0 +1,223 @@
+"""Run-time Molecule selection (paper section 5, task b).
+
+Given the currently forecasted SIs (with expected execution counts), the
+Atom-Container budget and the Atoms already loaded, pick one hardware
+molecule per SI (or none, i.e. software execution) so that the weighted
+cycle savings are maximised while the *supremum* of the chosen molecules
+fits the budget.  Using the supremum — not the sum — is the heart of the
+paper's resource sharing: an Atom instance loaded in a container serves
+every SI whose molecule needs it (Fig. 6, T3).
+
+Two algorithms are provided:
+
+* :func:`select_greedy` — the production path: start from nothing and
+  repeatedly apply the upgrade with the best marginal gain per additional
+  container, honouring already-loaded atoms (their containers are sunk
+  cost, so reusing them is free).
+* :func:`select_exhaustive` — optimal reference for small libraries,
+  used by tests and the selection ablation bench.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+from .library import SILibrary
+from .molecule import Molecule, supremum
+from .si import MoleculeImpl, SpecialInstruction
+
+
+@dataclass(frozen=True)
+class ForecastedSI:
+    """One SI requested by the forecast, with its expected usage weight."""
+
+    si: SpecialInstruction
+    expected_executions: float
+
+    def __post_init__(self) -> None:
+        if self.expected_executions < 0:
+            raise ValueError("expected executions cannot be negative")
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a molecule selection round."""
+
+    chosen: dict[str, MoleculeImpl | None]
+    demand: Molecule
+    containers_used: int
+    total_benefit: float
+    considered: int = 0
+    rejected_over_budget: dict[str, bool] = field(default_factory=dict)
+
+    def molecule_for(self, si_name: str) -> MoleculeImpl | None:
+        return self.chosen.get(si_name)
+
+
+def _benefit(fsi: ForecastedSI, impl: MoleculeImpl | None) -> float:
+    """Weighted cycles saved vs. pure software execution."""
+    if impl is None:
+        return 0.0
+    saved = fsi.si.software_cycles - impl.cycles
+    return fsi.expected_executions * max(saved, 0)
+
+
+def _demand(
+    library: SILibrary, chosen: Mapping[str, MoleculeImpl | None]
+) -> Molecule:
+    """Supremum of the chosen molecules, projected onto reconfigurable kinds."""
+    molecules = [
+        library.restricted_to_reconfigurable(impl.molecule)
+        for impl in chosen.values()
+        if impl is not None
+    ]
+    return supremum(molecules, space=library.space)
+
+
+def select_greedy(
+    library: SILibrary,
+    requests: Iterable[ForecastedSI],
+    container_budget: int,
+    *,
+    loaded: Molecule | None = None,
+) -> SelectionResult:
+    """Greedy marginal-gain molecule selection.
+
+    Upgrades are scored by weighted cycle savings per *container budget*
+    consumed (the marginal determinant growth of the demand supremum), so
+    cheap shared molecules are picked before large exclusive ones.  Among
+    equal-score upgrades the one needing fewer new rotations wins:
+    ``loaded`` (reconfigurable projection is taken internally) describes
+    Atoms already sitting in containers, and reusing them is free — this
+    minimises the number of rotations, a stated goal of the paper.
+    """
+    if container_budget < 0:
+        raise ValueError("container budget cannot be negative")
+    requests = list(requests)
+    loaded_rc = (
+        library.restricted_to_reconfigurable(loaded)
+        if loaded is not None
+        else library.space.zero()
+    )
+
+    chosen: dict[str, MoleculeImpl | None] = {r.si.name: None for r in requests}
+    by_name = {r.si.name: r for r in requests}
+    considered = 0
+    baseline = library.baseline_molecule()
+
+    def containers_for(demand: Molecule) -> int:
+        # Containers hold only the demand beyond the static baseline;
+        # budget is the number of containers available for this round.
+        return abs(demand - baseline)
+
+    while True:
+        current_demand = _demand(library, chosen)
+        current_containers = containers_for(current_demand)
+        best: tuple[float, float, str, MoleculeImpl] | None = None
+        for name, fsi in by_name.items():
+            current_impl = chosen[name]
+            current_gain = _benefit(fsi, current_impl)
+            for impl in fsi.si.implementations:
+                considered += 1
+                gain = _benefit(fsi, impl) - current_gain
+                if gain <= 0:
+                    continue
+                trial = dict(chosen)
+                trial[name] = impl
+                new_demand = _demand(library, trial)
+                new_containers = containers_for(new_demand)
+                if new_containers > container_budget:
+                    continue
+                # Primary cost: container budget this upgrade consumes.
+                extra_budget = new_containers - current_containers
+                score = gain / (extra_budget + 0.5)
+                # Secondary preference: fewer new rotations (reuse what is
+                # already loaded or demanded).
+                rotations = abs(new_demand - (current_demand | loaded_rc))
+                key = (score, -rotations)
+                if best is None or key > best[:2]:
+                    best = (score, -rotations, name, impl)
+        if best is None:
+            break
+        _, _, name, impl = best
+        chosen[name] = impl
+
+    demand = _demand(library, chosen)
+    total = sum(_benefit(by_name[n], impl) for n, impl in chosen.items())
+    return SelectionResult(
+        chosen=chosen,
+        demand=demand,
+        containers_used=abs(demand - baseline),
+        total_benefit=total,
+        considered=considered,
+    )
+
+
+def select_exhaustive(
+    library: SILibrary,
+    requests: Iterable[ForecastedSI],
+    container_budget: int,
+    *,
+    loaded: Molecule | None = None,
+) -> SelectionResult:
+    """Optimal selection by enumerating all per-SI implementation choices.
+
+    Exponential in the number of SIs — intended for validation and for the
+    greedy-vs-optimal ablation, not for the run-time path.  ``loaded`` is
+    accepted for interface parity with :func:`select_greedy`; the optimal
+    choice does not depend on it (reuse only affects rotation effort, not
+    the achievable benefit).
+    """
+    if container_budget < 0:
+        raise ValueError("container budget cannot be negative")
+    requests = list(requests)
+    baseline = library.baseline_molecule()
+    option_lists: list[list[MoleculeImpl | None]] = [
+        [None, *r.si.implementations] for r in requests
+    ]
+    best_choice: dict[str, MoleculeImpl | None] = {
+        r.si.name: None for r in requests
+    }
+    best_benefit = 0.0
+    considered = 0
+    for combo in itertools.product(*option_lists):
+        considered += 1
+        chosen = {r.si.name: impl for r, impl in zip(requests, combo)}
+        demand = _demand(library, chosen)
+        if abs(demand - baseline) > container_budget:
+            continue
+        benefit = sum(
+            _benefit(r, impl) for r, impl in zip(requests, combo)
+        )
+        if benefit > best_benefit:
+            best_benefit = benefit
+            best_choice = chosen
+    demand = _demand(library, best_choice)
+    return SelectionResult(
+        chosen=best_choice,
+        demand=demand,
+        containers_used=abs(demand - baseline),
+        total_benefit=best_benefit,
+        considered=considered,
+    )
+
+
+def upgrade_path(
+    library: SILibrary,
+    requests: Iterable[ForecastedSI],
+    max_containers: int,
+    *,
+    loaded: Molecule | None = None,
+) -> list[SelectionResult]:
+    """Selection results for every container budget ``0..max_containers``.
+
+    Materialises the dynamic trade-off of Fig. 13: as the budget grows the
+    selected molecules walk along the Pareto fronts.
+    """
+    requests = list(requests)
+    return [
+        select_greedy(library, requests, budget, loaded=loaded)
+        for budget in range(max_containers + 1)
+    ]

@@ -1,0 +1,114 @@
+"""JSON (de)serialisation of atom catalogues and SI libraries.
+
+A molecule catalogue is a design-time artefact the tool-chain ships with
+an application binary; this module gives it a stable on-disk form so
+libraries survive across processes and can be exchanged (e.g. the
+auto-generated catalogues of :mod:`repro.core.molgen`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .atom import AtomCatalogue, AtomKind
+from .library import SILibrary
+from .si import MoleculeImpl, SpecialInstruction
+
+FORMAT_VERSION = 1
+
+
+def catalogue_to_dict(catalogue: AtomCatalogue) -> dict:
+    return {
+        "kinds": [
+            {
+                "name": k.name,
+                "reconfigurable": k.reconfigurable,
+                "bitstream_bytes": k.bitstream_bytes,
+                "slices": k.slices,
+                "luts": k.luts,
+                "latency_cycles": k.latency_cycles,
+                "baseline": k.baseline,
+                "description": k.description,
+            }
+            for k in catalogue
+        ]
+    }
+
+
+def catalogue_from_dict(data: dict) -> AtomCatalogue:
+    try:
+        kinds = [AtomKind(**entry) for entry in data["kinds"]]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed catalogue data: {exc}") from exc
+    return AtomCatalogue.of(kinds)
+
+
+def library_to_dict(library: SILibrary) -> dict:
+    """The full library as plain JSON-compatible data."""
+    return {
+        "format": FORMAT_VERSION,
+        "catalogue": catalogue_to_dict(library.catalogue),
+        "sis": [
+            {
+                "name": si.name,
+                "software_cycles": si.software_cycles,
+                "description": si.description,
+                "implementations": [
+                    {
+                        "counts": impl.molecule.as_dict(),
+                        "cycles": impl.cycles,
+                        "label": impl.label,
+                    }
+                    for impl in si.implementations
+                ],
+            }
+            for si in library
+        ],
+    }
+
+
+def library_from_dict(data: dict) -> SILibrary:
+    """Rebuild a library; raises ``ValueError`` on malformed data."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported library format {data.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    catalogue = catalogue_from_dict(data["catalogue"])
+    space = catalogue.space
+    sis = []
+    for entry in data["sis"]:
+        try:
+            impls = [
+                MoleculeImpl(
+                    space.molecule(i["counts"]),
+                    i["cycles"],
+                    label=i.get("label", ""),
+                )
+                for i in entry["implementations"]
+            ]
+            sis.append(
+                SpecialInstruction(
+                    entry["name"],
+                    space,
+                    entry["software_cycles"],
+                    impls,
+                    description=entry.get("description", ""),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed SI entry: {exc}") from exc
+    return SILibrary(catalogue, sis)
+
+
+def save_library(library: SILibrary, path: str | Path) -> Path:
+    """Write the library as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(library_to_dict(library), indent=2) + "\n")
+    return path
+
+
+def load_library(path: str | Path) -> SILibrary:
+    """Read a library written by :func:`save_library`."""
+    return library_from_dict(json.loads(Path(path).read_text()))

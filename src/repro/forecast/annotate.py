@@ -1,0 +1,81 @@
+"""FC Blocks: the per-block bundling of Forecast points (paper §4, step 3).
+
+Forecast points landing in the same basic block are combined into one
+*FC Block* "which will ease the run-time computation effort": the
+run-time system is invoked once per block execution and receives all of
+the block's forecasts together.  :class:`ForecastAnnotation` is the final
+compile-time artefact handed to the run-time manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg.graph import ControlFlowGraph
+from .placement import ForecastPoint
+
+
+@dataclass(frozen=True)
+class FCBlock:
+    """All Forecast points placed in one basic block."""
+
+    block_id: str
+    points: tuple[ForecastPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("an FC block needs at least one forecast point")
+        for p in self.points:
+            if p.block_id != self.block_id:
+                raise ValueError(
+                    f"forecast point for block {p.block_id!r} grouped "
+                    f"into FC block {self.block_id!r}"
+                )
+        names = [p.si_name for p in self.points]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate SI forecast within one FC block")
+
+    def si_names(self) -> tuple[str, ...]:
+        return tuple(p.si_name for p in self.points)
+
+
+def build_fc_blocks(points: list[ForecastPoint]) -> list[FCBlock]:
+    """Group forecast points by block, preserving deterministic order."""
+    grouped: dict[str, list[ForecastPoint]] = {}
+    for p in points:
+        grouped.setdefault(p.block_id, []).append(p)
+    return [
+        FCBlock(block_id, tuple(sorted(pts, key=lambda p: p.si_name)))
+        for block_id, pts in sorted(grouped.items())
+    ]
+
+
+@dataclass
+class ForecastAnnotation:
+    """The compile-time output consumed by the run-time phase.
+
+    Maps block ids to their FC Blocks; iterating a program trace, the
+    run-time manager fires :meth:`forecasts_at` on every executed block.
+    """
+
+    fc_blocks: dict[str, FCBlock] = field(default_factory=dict)
+
+    @classmethod
+    def from_points(cls, points: list[ForecastPoint]) -> "ForecastAnnotation":
+        return cls({b.block_id: b for b in build_fc_blocks(points)})
+
+    def forecasts_at(self, block_id: str) -> tuple[ForecastPoint, ...]:
+        block = self.fc_blocks.get(block_id)
+        return block.points if block else ()
+
+    def all_points(self) -> list[ForecastPoint]:
+        return [p for b in self.fc_blocks.values() for p in b.points]
+
+    def blocks(self) -> list[str]:
+        return list(self.fc_blocks)
+
+    def validate_against(self, cfg: ControlFlowGraph) -> None:
+        """Check every annotated block exists in the CFG."""
+        for block_id in self.fc_blocks:
+            if block_id not in cfg:
+                raise ValueError(f"FC block {block_id!r} not present in the CFG")

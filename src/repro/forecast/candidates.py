@@ -1,0 +1,98 @@
+"""Forecast-Candidate determination (paper §4.1, step 1 of the scheme).
+
+For every SI type, every basic block is evaluated against the SI's
+Forecast Decision Function: the block becomes an *FC candidate* when the
+profiled expected number of SI executions reaches the FDF's demand at the
+block's (probability, temporal distance) operating point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.profile import SIStats, collect_si_stats
+from .fdf import ForecastDecisionFunction
+
+
+@dataclass(frozen=True)
+class FCCandidate:
+    """A block judged suitable to forecast one SI."""
+
+    block_id: str
+    si_name: str
+    probability: float
+    distance: float
+    expected_executions: float
+    required_executions: float
+
+    @property
+    def margin(self) -> float:
+        """How comfortably the candidate clears the FDF demand."""
+        return self.expected_executions - self.required_executions
+
+
+def evaluate_block(
+    stats: SIStats, fdf: ForecastDecisionFunction, *, distance: str = "expected"
+) -> FCCandidate | None:
+    """Judge one block; returns the candidate or ``None`` if unsuitable.
+
+    ``distance`` selects which profiled temporal distance feeds the FDF:
+    ``"min"``, ``"expected"`` (the paper's *typical*) or ``"max"``.
+    """
+    dist = {
+        "min": stats.min_distance,
+        "expected": stats.expected_distance,
+        "max": stats.max_distance,
+    }[distance]
+    if stats.probability <= 0 or math.isinf(dist):
+        return None
+    required = fdf(stats.probability, dist)
+    if stats.expected_executions < required:
+        return None
+    return FCCandidate(
+        block_id=stats.block_id,
+        si_name=stats.si_name,
+        probability=stats.probability,
+        distance=dist,
+        expected_executions=stats.expected_executions,
+        required_executions=required,
+    )
+
+
+def determine_candidates(
+    cfg: ControlFlowGraph,
+    si_name: str,
+    fdf: ForecastDecisionFunction,
+    *,
+    distance: str = "expected",
+    exclude_usage_blocks: bool = True,
+) -> list[FCCandidate]:
+    """FC candidates of one SI over the whole profiled BB graph.
+
+    Blocks that themselves use the SI are excluded by default: their
+    temporal distance is 0, so a rotation started there can never finish
+    in time (the paper's "inappropriate candidate" case) — the FDF already
+    demands an enormous count there, this just avoids the degenerate
+    distance-0 evaluation entirely.
+    """
+    stats = collect_si_stats(cfg, si_name)
+    candidates: list[FCCandidate] = []
+    for block_id, block_stats in stats.items():
+        if exclude_usage_blocks and cfg.get(block_id).uses_si(si_name):
+            continue
+        candidate = evaluate_block(block_stats, fdf, distance=distance)
+        if candidate is not None:
+            candidates.append(candidate)
+    return candidates
+
+
+def candidates_by_block(
+    all_candidates: list[FCCandidate],
+) -> dict[str, list[FCCandidate]]:
+    """Group candidates of *all* SI types by block (input to trimming)."""
+    grouped: dict[str, list[FCCandidate]] = {}
+    for candidate in all_candidates:
+        grouped.setdefault(candidate.block_id, []).append(candidate)
+    return grouped

@@ -1,0 +1,128 @@
+"""The Forecast Decision Function (paper §4.1, Fig. 4).
+
+For a block ``B`` and an SI ``S`` the FDF maps the profiled probability
+``p`` of reaching ``S`` and the temporal distance ``t`` until its usage to
+the *minimum number of expected SI executions* that make ``B`` worth
+turning into a Forecast-Candidate:
+
+* ``t`` much smaller than the rotation time ``T_rot``: the rotation could
+  not finish in time, so a huge execution count is demanded (the left
+  wall of Fig. 4's bathtub);
+* ``t`` in the sweet spot (about 1..10 ``T_rot``): only the energy
+  break-even ``offset`` is demanded;
+* ``t`` far beyond ``10 T_rot``: the rotation would block Atom Containers
+  for too long, so the demand rises again (the right slope);
+* lower probability scales the whole demand up (the figure's three
+  probability sheets).
+
+The energy break-even is ``offset = alpha * E_rot / (T_sw - T_hw)``: the
+rotation energy divided by the per-execution saving, scaled by the
+paper's trade-off parameter ``alpha``.
+
+The paper omits "some additional adjustment parameters ... for clarity";
+``k_near``/``k_far``/``far_horizon`` are our names for them, with
+defaults calibrated to reproduce Fig. 4's value range (0..500 executions
+over the plotted grid).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def rotation_offset(
+    alpha: float, rotation_energy: float, t_sw: float, t_hw: float
+) -> float:
+    """Energy break-even execution count ``alpha * E_rot / (T_sw - T_hw)``.
+
+    ``rotation_energy`` is in the same energy-per-cycle-equivalent unit as
+    the execution times (any consistent unit works; only the ratio
+    matters).  Requires ``t_sw > t_hw`` — an SI whose hardware molecule is
+    not faster than software can never amortise a rotation.
+    """
+    if alpha < 0:
+        raise ValueError("alpha cannot be negative")
+    if rotation_energy < 0:
+        raise ValueError("rotation energy cannot be negative")
+    if t_sw <= t_hw:
+        raise ValueError("software execution must be slower than hardware")
+    return alpha * rotation_energy / (t_sw - t_hw)
+
+
+@dataclass(frozen=True)
+class ForecastDecisionFunction:
+    """FDF bound to one SI's timing characteristics.
+
+    Parameters
+    ----------
+    t_rot:
+        Average rotation time of the SI's atoms, in cycles.
+    t_sw, t_hw:
+        SI execution time in software and (fastest) hardware, in cycles.
+    rotation_energy:
+        Energy cost of one rotation (consistent units; see
+        :func:`rotation_offset`).
+    alpha:
+        The paper's energy-efficiency vs. speed-up trade-off factor.
+    k_near, k_far:
+        Slopes of the too-close wall and the too-far rise (the paper's
+        omitted adjustment parameters).
+    far_horizon:
+        Distance, in multiples of ``t_rot``, beyond which blocking Atom
+        Containers starts being penalised (Fig. 4 uses 10).
+    """
+
+    t_rot: float
+    t_sw: float
+    t_hw: float
+    rotation_energy: float = 0.0
+    alpha: float = 1.0
+    k_near: float = 500.0
+    k_far: float = 50.0
+    far_horizon: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.t_rot <= 0:
+            raise ValueError("rotation time must be positive")
+        if self.t_sw <= self.t_hw:
+            raise ValueError("software execution must be slower than hardware")
+        if self.far_horizon <= 0:
+            raise ValueError("far horizon must be positive")
+
+    @property
+    def offset(self) -> float:
+        """The energy break-even execution count."""
+        return rotation_offset(
+            self.alpha, self.rotation_energy, self.t_sw, self.t_hw
+        )
+
+    def __call__(self, probability: float, distance: float) -> float:
+        """Minimum expected SI executions to become an FC candidate.
+
+        ``probability`` in (0, 1]; ``distance`` in cycles (``inf`` yields
+        ``inf``: an unreachable SI can never justify a forecast).
+        """
+        if not 0 < probability <= 1:
+            raise ValueError("probability must be in (0, 1]")
+        if distance < 0:
+            raise ValueError("distance cannot be negative")
+        if math.isinf(distance):
+            return math.inf
+        near = self.k_near * (self.t_rot - distance) / self.t_rot
+        far_edge = self.far_horizon * self.t_rot
+        far = self.k_far * (distance - far_edge) / far_edge
+        return self.offset + max(near, far, 0.0) / probability
+
+    def surface(
+        self, distances: list[float], probabilities: list[float]
+    ) -> list[list[float]]:
+        """FDF grid: ``surface[i][j] = FDF(probabilities[i], distances[j])``.
+
+        Regenerates the Fig. 4 plot data.
+        """
+        return [[self(p, t) for t in distances] for p in probabilities]
+
+    def sweet_spot(self) -> tuple[float, float]:
+        """The distance range where only the offset is demanded."""
+        return (self.t_rot, self.far_horizon * self.t_rot)

@@ -1,0 +1,125 @@
+"""Choosing actual Forecast points out of the FC candidates (paper §4.2).
+
+The paper runs, per SI type, a depth-first search on the *transposed*
+BB graph (all edges reversed, i.e. walking backwards in execution order)
+over the not-yet-visited FC candidates.  Chains and clusters of
+candidates that are adjacent — or separated by only a short stretch of
+unsuitable blocks — collapse into a single Forecast point: the candidate
+with the greatest temporal lead over the SI usage.  When the DFS leaves
+a candidate region and no further candidate is near (gap measured in
+cycles against the temporal-distance threshold), the chain is closed and
+its best candidate becomes an actual FC.
+
+This de-duplication matters at run time: every FC invokes the run-time
+system to re-evaluate rotations, so redundant FCs on every block of a
+hot path would burn cycles for no information gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg.graph import ControlFlowGraph
+from .candidates import FCCandidate
+
+
+@dataclass(frozen=True)
+class ForecastPoint:
+    """An FC finally placed in a block, with its initial on-line values.
+
+    The profiled probability, temporal distance and expected execution
+    count are carried along as "initial values for the online phase"
+    (§4.2) — the run-time monitor fine-tunes them.
+    """
+
+    block_id: str
+    si_name: str
+    probability: float
+    distance: float
+    expected_executions: float
+
+    @classmethod
+    def from_candidate(cls, candidate: FCCandidate) -> "ForecastPoint":
+        return cls(
+            block_id=candidate.block_id,
+            si_name=candidate.si_name,
+            probability=candidate.probability,
+            distance=candidate.distance,
+            expected_executions=candidate.expected_executions,
+        )
+
+
+def choose_forecast_points(
+    cfg: ControlFlowGraph,
+    candidates: list[FCCandidate],
+    *,
+    far_threshold: float = 0.0,
+) -> list[ForecastPoint]:
+    """Collapse one SI's candidate clusters into actual Forecast points.
+
+    ``candidates`` must all belong to the same SI type (the paper executes
+    the algorithm per SI type).  ``far_threshold`` is the cycle gap across
+    unsuitable blocks up to which two candidates still count as one chain.
+    """
+    if not candidates:
+        return []
+    si_names = {c.si_name for c in candidates}
+    if len(si_names) != 1:
+        raise ValueError(
+            f"placement runs per SI type; got candidates for {sorted(si_names)}"
+        )
+    by_block = {c.block_id: c for c in candidates}
+    transposed = cfg.transposed()
+
+    visited: set[str] = set()
+    points: list[ForecastPoint] = []
+    # Deterministic order: strongest margin first, so the most valuable
+    # candidate seeds its cluster.
+    for seed in sorted(by_block.values(), key=lambda c: (-c.margin, c.block_id)):
+        if seed.block_id in visited:
+            continue
+        component: list[FCCandidate] = []
+        stack: list[tuple[str, float]] = [(seed.block_id, 0.0)]
+        while stack:
+            block_id, gap = stack.pop()
+            is_candidate = block_id in by_block
+            if is_candidate:
+                if block_id in visited:
+                    continue
+                visited.add(block_id)
+                component.append(by_block[block_id])
+                gap = 0.0
+            # Walk backwards (transposed successors = original predecessors)
+            # and forwards within the cluster; both directions merge chains.
+            for neighbour in set(transposed.successors(block_id)) | set(
+                cfg.successors(block_id)
+            ):
+                if neighbour in by_block:
+                    if neighbour not in visited:
+                        stack.append((neighbour, 0.0))
+                else:
+                    new_gap = gap + cfg.get(neighbour).cycles
+                    if new_gap <= far_threshold:
+                        stack.append((neighbour, new_gap))
+        best = max(component, key=lambda c: (c.distance, c.margin))
+        points.append(ForecastPoint.from_candidate(best))
+    points.sort(key=lambda p: (p.block_id, p.si_name))
+    return points
+
+
+def place_all(
+    cfg: ControlFlowGraph,
+    candidates: list[FCCandidate],
+    *,
+    far_threshold: float = 0.0,
+) -> list[ForecastPoint]:
+    """Run the per-SI placement for every SI type present in ``candidates``."""
+    by_si: dict[str, list[FCCandidate]] = {}
+    for c in candidates:
+        by_si.setdefault(c.si_name, []).append(c)
+    points: list[ForecastPoint] = []
+    for si_name in sorted(by_si):
+        points.extend(
+            choose_forecast_points(cfg, by_si[si_name], far_threshold=far_threshold)
+        )
+    return points

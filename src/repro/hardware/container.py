@@ -1,0 +1,121 @@
+"""Atom Containers: the partially reconfigurable slots holding Atoms.
+
+Each Atom Container (AC) is one partially reconfigurable region of the
+fabric (4 CLB columns, full device height in the paper's Virtex-II
+prototype).  An AC is either empty, loading an Atom (rotation in flight),
+or holding a loaded Atom.  ACs carry a soft *owner* task id — ownership
+steers replacement decisions, but a loaded Atom serves *any* SI that
+needs it regardless of owner (the paper's Fig. 6, T3: Task B's SI runs on
+containers that meanwhile 'belong' to Task A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle of an Atom Container."""
+
+    EMPTY = "empty"
+    LOADING = "loading"
+    LOADED = "loaded"
+
+
+@dataclass
+class AtomContainer:
+    """One partially reconfigurable Atom slot."""
+
+    container_id: int
+    state: ContainerState = ContainerState.EMPTY
+    atom: str | None = None
+    owner: str | None = None
+    #: Cycle at which an in-flight rotation completes (LOADING only).
+    ready_at: int | None = None
+    #: Cycle of the last event touching this container (for LRU policies).
+    last_used: int = 0
+    #: Number of rotations this container has undergone.
+    rotations: int = field(default=0)
+    #: Permanently out of service (fabric defect); never holds Atoms again.
+    failed: bool = False
+
+    def is_available(self) -> bool:
+        """True when the container holds a usable Atom."""
+        return self.state is ContainerState.LOADED and not self.failed
+
+    def mark_failed(self) -> str | None:
+        """Take the container out of service; returns the Atom lost (if any).
+
+        A failure clears whatever the container held — including an
+        in-flight rotation, which is simply lost.
+        """
+        lost = self.atom
+        self.failed = True
+        self.state = ContainerState.EMPTY
+        self.atom = None
+        self.ready_at = None
+        return lost
+
+    def is_busy(self) -> bool:
+        return self.state is ContainerState.LOADING
+
+    def begin_rotation(self, atom: str, ready_at: int, *, owner: str | None = None) -> None:
+        """Start loading ``atom``; the container is unusable until ``ready_at``.
+
+        Rotating a LOADING container is rejected — the single configuration
+        port serialises rotations, and an in-flight one cannot be hijacked.
+        """
+        if self.failed:
+            raise ValueError(
+                f"container {self.container_id} is failed and out of service"
+            )
+        if self.state is ContainerState.LOADING:
+            raise ValueError(
+                f"container {self.container_id} is already rotating"
+            )
+        if ready_at < 0:
+            raise ValueError("completion cycle cannot be negative")
+        self.state = ContainerState.LOADING
+        self.atom = atom
+        self.ready_at = ready_at
+        if owner is not None:
+            self.owner = owner
+        self.rotations += 1
+
+    def complete_rotation(self, now: int) -> None:
+        """Finish the in-flight rotation (called by the port at ``ready_at``)."""
+        if self.state is not ContainerState.LOADING:
+            raise ValueError(
+                f"container {self.container_id} has no rotation in flight"
+            )
+        if self.ready_at is not None and now < self.ready_at:
+            raise ValueError(
+                f"rotation completes at {self.ready_at}, not at {now}"
+            )
+        self.state = ContainerState.LOADED
+        self.ready_at = None
+        self.last_used = now
+
+    def touch(self, now: int) -> None:
+        """Record a use of the loaded Atom (replacement-policy input)."""
+        if not self.is_available():
+            raise ValueError(
+                f"container {self.container_id} holds no usable atom"
+            )
+        self.last_used = now
+
+    def evict(self) -> str | None:
+        """Drop the loaded Atom, returning its kind (None if empty)."""
+        if self.state is ContainerState.LOADING:
+            raise ValueError(
+                f"container {self.container_id} is rotating and cannot be evicted"
+            )
+        previous = self.atom
+        self.state = ContainerState.EMPTY
+        self.atom = None
+        return previous
+
+    def reassign(self, owner: str | None) -> None:
+        """Change the soft owner (the Fig. 6 'reallocation')."""
+        self.owner = owner

@@ -1,0 +1,158 @@
+"""The reconfigurable fabric: a bank of Atom Containers plus static atoms.
+
+:class:`Fabric` aggregates the Atom Containers and answers the question
+the run-time system asks constantly: *which Atoms are usable right now?*
+(as a :class:`~repro.core.molecule.Molecule`, so SI implementations can
+be matched with a single lattice comparison).  Static atoms — helpers
+hard-wired next to the core data path (``Load``/``Add``/``Store`` in the
+case study) — are always available in effectively unlimited multiplicity,
+which we model with a configurable count.
+"""
+
+from __future__ import annotations
+
+
+
+from ..core.atom import AtomCatalogue
+from ..core.molecule import Molecule
+from .container import AtomContainer, ContainerState
+
+
+class Fabric:
+    """Atom Containers + static atoms of one RISPP platform instance."""
+
+    def __init__(
+        self,
+        catalogue: AtomCatalogue,
+        num_containers: int,
+        *,
+        static_multiplicity: int = 16,
+    ):
+        if num_containers < 0:
+            raise ValueError("container count cannot be negative")
+        if static_multiplicity < 1:
+            raise ValueError("static atoms need multiplicity of at least 1")
+        self.catalogue = catalogue
+        self.space = catalogue.space
+        self.containers = [AtomContainer(i) for i in range(num_containers)]
+        # The static fabric offers its helper atoms at full multiplicity
+        # and a baseline of some reconfigurable kinds (e.g. one built-in
+        # Load lane); containers add instances on top.
+        self._static = {
+            kind.name: static_multiplicity for kind in catalogue.static_kinds()
+        }
+        for name, baseline in catalogue.baseline_counts().items():
+            if baseline:
+                self._static[name] = baseline
+        self._reconfigurable = set(catalogue.reconfigurable_names())
+
+    # -- capacity ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.containers)
+
+    def container(self, container_id: int) -> AtomContainer:
+        return self.containers[container_id]
+
+    # -- atom visibility ------------------------------------------------------
+
+    def available_atoms(self) -> Molecule:
+        """Usable Atoms right now: loaded containers + static atoms."""
+        counts = dict(self._static)
+        for c in self.containers:
+            if c.is_available() and c.atom is not None:
+                counts[c.atom] = counts.get(c.atom, 0) + 1
+        return self.space.molecule(counts)
+
+    def loaded_reconfigurable(self) -> Molecule:
+        """Only the Atoms sitting in (loaded) containers."""
+        counts: dict[str, int] = {}
+        for c in self.containers:
+            if c.is_available() and c.atom is not None:
+                counts[c.atom] = counts.get(c.atom, 0) + 1
+        return self.space.molecule(counts)
+
+    def in_flight(self) -> Molecule:
+        """Atoms currently being rotated in (not yet usable)."""
+        counts: dict[str, int] = {}
+        for c in self.containers:
+            if c.is_busy() and c.atom is not None:
+                counts[c.atom] = counts.get(c.atom, 0) + 1
+        return self.space.molecule(counts)
+
+    def eventual_atoms(self) -> Molecule:
+        """Atoms available once all in-flight rotations finish."""
+        return self.available_atoms() + self.in_flight()
+
+    # -- container queries ------------------------------------------------------
+
+    def empty_containers(self) -> list[AtomContainer]:
+        return [
+            c
+            for c in self.containers
+            if c.state is ContainerState.EMPTY and not c.failed
+        ]
+
+    def healthy_containers(self) -> list[AtomContainer]:
+        """Containers still in service."""
+        return [c for c in self.containers if not c.failed]
+
+    def fail_container(self, container_id: int) -> str | None:
+        """Take a container out of service (fabric defect injection).
+
+        Returns the Atom that was lost, if any.
+        """
+        return self.containers[container_id].mark_failed()
+
+    def loaded_containers(self) -> list[AtomContainer]:
+        return [c for c in self.containers if c.is_available()]
+
+    def busy_containers(self) -> list[AtomContainer]:
+        return [c for c in self.containers if c.is_busy()]
+
+    def containers_holding(self, atom: str) -> list[AtomContainer]:
+        return [
+            c for c in self.containers if c.is_available() and c.atom == atom
+        ]
+
+    def containers_owned_by(self, owner: str) -> list[AtomContainer]:
+        return [c for c in self.containers if c.owner == owner]
+
+    # -- validation ----------------------------------------------------------------
+
+    def check_rotatable(self, atom: str) -> None:
+        """Reject rotations of unknown or static atom kinds."""
+        if atom not in self.space:
+            raise ValueError(f"unknown atom kind {atom!r}")
+        if atom not in self._reconfigurable:
+            raise ValueError(f"atom kind {atom!r} is static and never rotates")
+
+    def touch_atoms(self, molecule: Molecule, now: int) -> None:
+        """Mark containers backing ``molecule``'s reconfigurable atoms as used."""
+        for kind in molecule.kinds_used():
+            if kind not in self._reconfigurable:
+                continue
+            needed = molecule.count(kind)
+            for c in self.containers_holding(kind)[:needed]:
+                c.touch(now)
+
+    def utilisation(self) -> float:
+        """Fraction of containers holding or loading an Atom."""
+        if not self.containers:
+            return 0.0
+        active = sum(
+            1 for c in self.containers if c.state is not ContainerState.EMPTY
+        )
+        return active / len(self.containers)
+
+    def describe(self) -> list[str]:
+        """One human-readable line per container (Fig. 6-style timeline rows)."""
+        lines = []
+        for c in self.containers:
+            state = c.state.value
+            atom = c.atom or "-"
+            owner = c.owner or "-"
+            lines.append(
+                f"AC{c.container_id}: {atom:<12} [{state:<7}] owner={owner}"
+            )
+        return lines

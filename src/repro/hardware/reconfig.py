@@ -1,0 +1,187 @@
+"""The reconfiguration port: serialised Atom rotations (SelectMap model).
+
+The prototype loads partial bitstreams through the single SelectMap
+interface, so rotations are strictly sequential; the rotation latency of
+an Atom is its bitstream size divided by the configuration rate
+(calibrated from Table 1; see :mod:`repro.hardware.atom_specs`).
+
+Timing semantics (they matter for the Fig. 6 scenario): a rotation
+*request* reserves the target container and fixes the job's start/finish
+cycles, but the container keeps serving its old Atom until the port
+actually starts writing the new bitstream.  This is why, at the paper's
+T3, Task B's SI0 still executes on containers that were already
+reallocated to Task A — they still contain SI0's Atoms while earlier
+rotations occupy the port.  :meth:`ReconfigurationPort.advance` moves
+simulated time forward, performing evictions at each job's start and
+completions at its finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.atom import AtomCatalogue
+from .atom_specs import SELECTMAP_BYTES_PER_US
+from .fabric import Fabric
+
+
+@dataclass
+class RotationJob:
+    """One scheduled rotation."""
+
+    atom: str
+    container_id: int
+    requested_at: int
+    started_at: int
+    finish_at: int
+    #: Atom the container held at request time (evicted when the job starts).
+    evicted: str | None = None
+    started: bool = field(default=False, compare=False)
+    completed: bool = field(default=False, compare=False)
+    owner: str | None = None
+
+    @property
+    def duration(self) -> int:
+        return self.finish_at - self.started_at
+
+    @property
+    def queue_delay(self) -> int:
+        return self.started_at - self.requested_at
+
+
+class ReconfigurationPort:
+    """Single configuration port; one rotation in flight at a time."""
+
+    def __init__(
+        self,
+        catalogue: AtomCatalogue,
+        *,
+        core_mhz: float = 100.0,
+        bytes_per_us: float = SELECTMAP_BYTES_PER_US,
+    ):
+        if core_mhz <= 0:
+            raise ValueError("core frequency must be positive")
+        if bytes_per_us <= 0:
+            raise ValueError("configuration rate must be positive")
+        self.catalogue = catalogue
+        self.core_mhz = core_mhz
+        self.bytes_per_us = bytes_per_us
+        self.busy_until = 0
+        self.jobs: list[RotationJob] = []
+        self._pending: list[RotationJob] = []
+        self._reserved: set[int] = set()
+
+    def rotation_cycles(self, atom: str) -> int:
+        """Rotation latency of one Atom kind, in core cycles."""
+        kind = self.catalogue.get(atom)
+        if not kind.reconfigurable:
+            raise ValueError(f"atom kind {atom!r} is static and never rotates")
+        if kind.bitstream_bytes <= 0:
+            raise ValueError(f"atom kind {atom!r} has no bitstream size")
+        time_us = kind.bitstream_bytes / self.bytes_per_us
+        return max(1, round(time_us * self.core_mhz))
+
+    def is_reserved(self, container_id: int) -> bool:
+        """True while a scheduled or in-flight rotation targets the container."""
+        return container_id in self._reserved
+
+    def request(
+        self,
+        fabric: Fabric,
+        atom: str,
+        container_id: int,
+        now: int,
+        *,
+        owner: str | None = None,
+    ) -> RotationJob:
+        """Queue a rotation of ``atom`` into ``container_id`` at cycle ``now``.
+
+        The container is reserved immediately but keeps serving its current
+        Atom until the port starts this job (``started_at``); the new Atom
+        becomes usable at ``finish_at``.
+        """
+        fabric.check_rotatable(atom)
+        if container_id in self._reserved:
+            raise ValueError(
+                f"container {container_id} already has a rotation scheduled"
+            )
+        container = fabric.container(container_id)
+        if container.failed:
+            raise ValueError(
+                f"container {container_id} is failed and out of service"
+            )
+        if container.is_busy():  # pragma: no cover - reserved covers this
+            raise ValueError(f"container {container_id} is rotating")
+        started = max(now, self.busy_until)
+        finish = started + self.rotation_cycles(atom)
+        job = RotationJob(
+            atom=atom,
+            container_id=container_id,
+            requested_at=now,
+            started_at=started,
+            finish_at=finish,
+            evicted=container.atom,
+            owner=owner,
+        )
+        if owner is not None:
+            container.reassign(owner)
+        self.busy_until = finish
+        self.jobs.append(job)
+        self._pending.append(job)
+        self._reserved.add(container_id)
+        return job
+
+    def advance(self, fabric: Fabric, now: int) -> list[RotationJob]:
+        """Process starts and completions up to cycle ``now``.
+
+        Returns the jobs *completed* by this call, in completion order.
+        """
+        completed: list[RotationJob] = []
+        dropped: list[RotationJob] = []
+        for job in sorted(self._pending, key=lambda j: j.started_at):
+            container = fabric.container(job.container_id)
+            if container.failed:
+                # The target died under a scheduled rotation: the write is
+                # lost, the reservation released.
+                dropped.append(job)
+                continue
+            if not job.started and job.started_at <= now:
+                container.evict()
+                container.begin_rotation(
+                    job.atom, job.finish_at, owner=job.owner
+                )
+                job.started = True
+            if job.started and not job.completed and job.finish_at <= now:
+                container.complete_rotation(job.finish_at)
+                job.completed = True
+                completed.append(job)
+        for job in completed + dropped:
+            self._pending.remove(job)
+            self._reserved.discard(job.container_id)
+        return completed
+
+    def next_event(self) -> int | None:
+        """Cycle of the earliest pending start or completion (None if idle)."""
+        times = []
+        for j in self._pending:
+            if not j.started:
+                times.append(j.started_at)
+            if not j.completed:
+                times.append(j.finish_at)
+        return min(times) if times else None
+
+    def next_completion(self) -> int | None:
+        """Cycle of the earliest pending completion (None when idle)."""
+        if not self._pending:
+            return None
+        return min(j.finish_at for j in self._pending)
+
+    def pending_jobs(self) -> list[RotationJob]:
+        return list(self._pending)
+
+    def total_rotations(self) -> int:
+        return len(self.jobs)
+
+    def total_busy_cycles(self) -> int:
+        """Cycles the port spent writing bitstreams so far."""
+        return sum(j.duration for j in self.jobs)

@@ -1,0 +1,14 @@
+"""Terminal rendering of the paper's tables and figures."""
+
+from .figures import render_bars, render_series, render_surface
+from .tables import render_table
+from .timeline import container_occupancy, render_container_timeline
+
+__all__ = [
+    "container_occupancy",
+    "render_bars",
+    "render_container_timeline",
+    "render_series",
+    "render_surface",
+    "render_table",
+]

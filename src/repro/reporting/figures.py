@@ -1,0 +1,96 @@
+"""Plain-text figure rendering: bar charts, series, and surfaces.
+
+The paper's figures are regenerated as data by the benches; these helpers
+turn the data into terminal-friendly visuals so a bench run *shows* the
+figure it reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+
+def render_bars(
+    values: Mapping[str, float],
+    *,
+    title: str = "",
+    width: int = 50,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (Fig. 11/12 style; optional log scale)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    if width < 1:
+        raise ValueError("width must be positive")
+    vals = dict(values)
+    if any(v < 0 for v in vals.values()):
+        raise ValueError("bar values must be non-negative")
+
+    def scale(v: float) -> float:
+        if not log_scale:
+            return v
+        return math.log10(v) if v >= 1 else 0.0
+
+    max_scaled = max(scale(v) for v in vals.values()) or 1.0
+    label_w = max(len(k) for k in vals)
+    lines = [title] if title else []
+    for key, v in vals.items():
+        bar = "#" * max(1 if v > 0 else 0, round(width * scale(v) / max_scaled))
+        lines.append(f"{key.ljust(label_w)} |{bar} {v:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Tabular multi-series rendering (Fig. 13 style Pareto fronts)."""
+    if not series:
+        raise ValueError("nothing to plot")
+    lines = [title] if title else []
+    lines.append(f"{x_label} -> {y_label}")
+    for name, points in series.items():
+        body = ", ".join(f"({x:g}, {y:g})" for x, y in points)
+        lines.append(f"  {name}: {body}")
+    return "\n".join(lines)
+
+
+def render_surface(
+    grid: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    *,
+    title: str = "",
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Character-shaded heat map (the Fig. 4 FDF surface)."""
+    if not grid or not grid[0]:
+        raise ValueError("empty surface")
+    if len(grid) != len(row_labels):
+        raise ValueError("row labels do not match the grid")
+    if any(len(row) != len(col_labels) for row in grid):
+        raise ValueError("column labels do not match the grid")
+    finite = [v for row in grid for v in row if math.isfinite(v)]
+    lo = min(finite)
+    hi = max(finite)
+    span = (hi - lo) or 1.0
+    lines = [title] if title else []
+    label_w = max(len(r) for r in row_labels)
+    for label, row in zip(row_labels, grid):
+        cells = []
+        for v in row:
+            if not math.isfinite(v):
+                cells.append("!")
+                continue
+            idx = int((v - lo) / span * (len(levels) - 1))
+            cells.append(levels[idx])
+        lines.append(f"{label.rjust(label_w)} |{''.join(cells)}|")
+    lines.append(" " * (label_w + 2) + "".join(
+        c[-1] if c else " " for c in col_labels
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; numeric cells are right-aligned, text cells
+    left-aligned.
+    """
+    if not headers:
+        raise ValueError("a table needs headers")
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows), 1)
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    numeric = [
+        bool(str_rows) and all(_is_numeric(r[i]) for r in str_rows)
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line([str(h) for h in headers]))
+    out.append(sep)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.2f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "").replace("+", "")
+    return stripped.isdigit() and bool(stripped)

@@ -1,0 +1,30 @@
+"""Run-time architecture (paper §5): monitor, select, rotate, replace."""
+
+from .manager import RisppRuntime, RuntimeStats
+from .monitor import ForecastMonitor, ForecastWindow, SIForecastStats
+from .replacement import (
+    HighestIdPolicy,
+    LRUPolicy,
+    MRUPolicy,
+    ReplacementPolicy,
+    choose_victim,
+    victim_candidates,
+)
+from .rotation import RotationPlan, future_population, plan_rotations
+
+__all__ = [
+    "ForecastMonitor",
+    "ForecastWindow",
+    "HighestIdPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "ReplacementPolicy",
+    "RisppRuntime",
+    "RotationPlan",
+    "RuntimeStats",
+    "SIForecastStats",
+    "choose_victim",
+    "future_population",
+    "plan_rotations",
+    "victim_candidates",
+]

@@ -1,0 +1,388 @@
+"""The RISPP run-time manager (paper §5).
+
+:class:`RisppRuntime` owns the fabric, the reconfiguration port, the
+forecast monitor and the replacement policy, and performs the three §5
+tasks:
+
+a) **Monitoring** — every forecast and SI execution feeds the
+   :class:`~repro.runtime.monitor.ForecastMonitor`, which fine-tunes the
+   compile-time expectations;
+b) **Selecting** — on every forecast change the manager re-runs molecule
+   selection over all active forecasts (weighted by fine-tuned expected
+   executions x priority) under the container budget;
+c) **Scheduling** — the selected demand is handed to the rotation
+   planner, which issues serialised rotations and reallocates containers
+   across tasks.
+
+SI execution is *gradual*: whatever Atoms happen to be loaded at call
+time determine the molecule (or the software fallback) — the paper's
+"Rotation in Advance" upgrade behaviour falls out of re-evaluating
+``best_available`` on every execution.
+
+With ``forecasting=False`` the manager degrades to rotate-on-demand
+(rotations start only when an SI is first executed) — the baseline for
+the forecast ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.library import SILibrary
+from ..core.molecule import Molecule
+from ..core.selection import ForecastedSI, select_greedy
+from ..hardware.fabric import Fabric
+from ..hardware.reconfig import ReconfigurationPort
+from ..sim.trace import EventKind, Trace
+from .monitor import ForecastMonitor
+from .replacement import LRUPolicy, ReplacementPolicy
+from .rotation import future_population, plan_rotations
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate counters of one run."""
+
+    si_executions: int = 0
+    sw_executions: int = 0
+    hw_executions: int = 0
+    si_cycles: int = 0
+    rotations_requested: int = 0
+    replans: int = 0
+    mode_switches: int = 0
+    #: Accumulated only when the runtime carries an EnergyModel.
+    rotation_energy_nj: float = 0.0
+    execution_energy_nj: float = 0.0
+
+    def hw_fraction(self) -> float:
+        if not self.si_executions:
+            return 0.0
+        return self.hw_executions / self.si_executions
+
+    def total_energy_nj(self) -> float:
+        return self.rotation_energy_nj + self.execution_energy_nj
+
+
+@dataclass
+class _ActiveForecast:
+    task: str
+    si_name: str
+    weight: float
+    priority: float
+
+
+class RisppRuntime:
+    """The run-time phase: rotate instructions per forecasts and demand."""
+
+    def __init__(
+        self,
+        library: SILibrary,
+        num_containers: int,
+        *,
+        core_mhz: float = 100.0,
+        policy: ReplacementPolicy | None = None,
+        trace: Trace | None = None,
+        monitor: ForecastMonitor | None = None,
+        static_multiplicity: int = 16,
+        forecasting: bool = True,
+        selection=select_greedy,
+        energy_model=None,
+    ):
+        self.library = library
+        self.fabric = Fabric(
+            library.catalogue,
+            num_containers,
+            static_multiplicity=static_multiplicity,
+        )
+        self.port = ReconfigurationPort(library.catalogue, core_mhz=core_mhz)
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.trace = trace if trace is not None else Trace()
+        self.monitor = monitor if monitor is not None else ForecastMonitor()
+        self.forecasting = forecasting
+        self.selection = selection
+        #: Optional :class:`repro.hardware.energy.EnergyModel`; when set,
+        #: rotation and execution energies accumulate into the stats.
+        self.energy_model = energy_model
+        self.stats = RuntimeStats()
+        self.task_stats: dict[str, RuntimeStats] = {}
+        self._active: dict[tuple[str, str], _ActiveForecast] = {}
+        self._last_mode: dict[tuple[str, str], str] = {}
+        #: A previous plan could not place every demanded atom (all
+        #: containers were reserved); retry when rotations complete.
+        self._unplaced_for: str | None = None
+
+    # -- time ------------------------------------------------------------
+
+    def advance(self, now: int) -> None:
+        """Bring the hardware state up to cycle ``now``.
+
+        Completions are processed *chronologically*, replanning after each
+        one when earlier demands went unplaced — the manager reacts to
+        each completion interrupt at its own cycle, so decisions never see
+        hardware state from the future.
+        """
+        while True:
+            next_completion = self.port.next_completion()
+            if next_completion is None or next_completion > now:
+                break
+            for job in self.port.advance(self.fabric, next_completion):
+                self.trace.record(
+                    job.finish_at,
+                    EventKind.ROTATION_COMPLETED,
+                    task=job.owner or "",
+                    detail_atom=job.atom,
+                    container=job.container_id,
+                )
+                if self._unplaced_for is not None and self._active:
+                    trigger = self._unplaced_for
+                    self._unplaced_for = None
+                    self._replan(job.finish_at, triggering_task=trigger)
+        # Finally process rotation *starts* (evictions) up to ``now``.
+        self.port.advance(self.fabric, now)
+
+    # -- forecasts (task a + b + c) --------------------------------------------
+
+    def forecast(
+        self,
+        si_name: str,
+        now: int,
+        *,
+        task: str = "main",
+        expected: float | None = None,
+        priority: float = 1.0,
+    ) -> None:
+        """An FC fires: register the SI demand and replan rotations."""
+        if si_name not in self.library:
+            raise ValueError(f"forecast for unknown SI {si_name!r}")
+        if priority <= 0:
+            raise ValueError("priority must be positive")
+        self.advance(now)
+        compile_time = expected if expected is not None else 1.0
+        tuned = self.monitor.forecast_fired(task, si_name, compile_time, now)
+        self._active[(task, si_name)] = _ActiveForecast(
+            task=task, si_name=si_name, weight=tuned, priority=priority
+        )
+        self.trace.record(
+            now,
+            EventKind.FORECAST,
+            task=task,
+            si=si_name,
+            expected=tuned,
+            priority=priority,
+        )
+        if self.forecasting:
+            self._replan(now, triggering_task=task)
+
+    def forecast_end(self, si_name: str, now: int, *, task: str = "main") -> None:
+        """An FC states the SI is no longer needed: release and replan."""
+        self.advance(now)
+        self.monitor.forecast_ended(task, si_name, now)
+        self._active.pop((task, si_name), None)
+        self.trace.record(now, EventKind.FORECAST_END, task=task, si=si_name)
+        if self.forecasting:
+            # Freed containers may enable upgrades for the remaining SIs;
+            # replan on behalf of the task(s) still holding forecasts.
+            remaining = {f.task for f in self._active.values()}
+            trigger = sorted(remaining)[0] if remaining else task
+            self._replan(now, triggering_task=trigger)
+
+    def active_forecasts(self) -> list[_ActiveForecast]:
+        return list(self._active.values())
+
+    # -- SI execution ------------------------------------------------------------
+
+    def execute_si(self, si_name: str, now: int, *, task: str = "main") -> int:
+        """Execute one SI at cycle ``now``; returns its latency in cycles.
+
+        Uses the fastest molecule the *currently loaded* Atoms support and
+        falls back to the optimised software molecule otherwise.
+        """
+        si = self.library.get(si_name)
+        self.advance(now)
+        if not self.forecasting and (task, si_name) not in self._active:
+            # Rotate-on-demand baseline: first use triggers the rotation.
+            self._active[(task, si_name)] = _ActiveForecast(
+                task=task, si_name=si_name, weight=1.0, priority=1.0
+            )
+            self._replan(now, triggering_task=task)
+        available = self.fabric.available_atoms()
+        impl = si.best_available(available)
+        if impl is None:
+            cycles = si.software_cycles
+            mode = "SW"
+        else:
+            cycles = impl.cycles
+            mode = impl.label or "HW"
+            self.fabric.touch_atoms(
+                self.library.restricted_to_reconfigurable(impl.molecule), now
+            )
+        previous = self._last_mode.get((task, si_name))
+        if previous is not None and previous != mode:
+            self.stats.mode_switches += 1
+            self.trace.record(
+                now,
+                EventKind.SI_MODE_SWITCH,
+                task=task,
+                si=si_name,
+                from_mode=previous,
+                to_mode=mode,
+                cycles=cycles,
+            )
+        self._last_mode[(task, si_name)] = mode
+        self.monitor.si_executed(task, si_name)
+        self.trace.record(
+            now,
+            EventKind.SI_EXECUTED,
+            task=task,
+            si=si_name,
+            mode=mode,
+            cycles=cycles,
+        )
+        per_task = self.task_stats.setdefault(task, RuntimeStats())
+        energy = 0.0
+        if self.energy_model is not None:
+            active_slices = 0
+            if impl is not None:
+                for kind_name in impl.molecule.kinds_used():
+                    kind = self.library.catalogue.get(kind_name)
+                    active_slices += kind.slices * impl.molecule.count(kind_name)
+            energy = self.energy_model.execution_energy_nj(active_slices, cycles)
+        for stats in (self.stats, per_task):
+            stats.si_executions += 1
+            stats.si_cycles += cycles
+            stats.execution_energy_nj += energy
+            if impl is None:
+                stats.sw_executions += 1
+            else:
+                stats.hw_executions += 1
+        return cycles
+
+    def fail_container(self, container_id: int, now: int) -> None:
+        """Inject a fabric defect: the container dies, the manager adapts.
+
+        The lost Atom (loaded or in flight) is gone; active forecasts are
+        replanned immediately so a replacement rotation lands in another
+        container — graceful degradation instead of a wrong result.
+        """
+        self.advance(now)
+        lost = self.fabric.fail_container(container_id)
+        # Release any reservation the port held on the dead container.
+        self.port.advance(self.fabric, now)
+        self.trace.record(
+            now,
+            EventKind.CONTAINER_FAILED,
+            container=container_id,
+            lost_atom=lost,
+        )
+        if self._active:
+            trigger = sorted({f.task for f in self._active.values()})[0]
+            self._replan(now, triggering_task=trigger)
+
+    def si_cycles(self, si_name: str, now: int) -> int:
+        """Latency one execution would take right now (no side effects)."""
+        self.advance(now)
+        return self.library.get(si_name).cycles_with(self.fabric.available_atoms())
+
+    def si_mode(self, si_name: str, now: int) -> str:
+        """Current execution mode: a molecule label or ``"SW"``."""
+        self.advance(now)
+        impl = self.library.get(si_name).best_available(
+            self.fabric.available_atoms()
+        )
+        return (impl.label or "HW") if impl is not None else "SW"
+
+    # -- internals -----------------------------------------------------------------
+
+    def _replan(self, now: int, *, triggering_task: str) -> None:
+        self.stats.replans += 1
+        weights: dict[str, float] = {}
+        for f in self._active.values():
+            weights[f.si_name] = weights.get(f.si_name, 0.0) + (
+                max(f.weight, 1.0) * f.priority
+            )
+        requests = [
+            ForecastedSI(self.library.get(name), weight)
+            for name, weight in sorted(weights.items())
+        ]
+        loaded = future_population(self.fabric, self.port)
+        result = self.selection(
+            self.library, requests, len(self.fabric), loaded=loaded
+        )
+        plan = plan_rotations(
+            self.library,
+            self.fabric,
+            self.port,
+            result.demand,
+            self.policy,
+            now,
+            owner=triggering_task,
+            kind_priority=self._rotation_priority(result.chosen, weights, loaded),
+        )
+        for container_id, old_owner, new_owner in plan.reallocated:
+            self.trace.record(
+                now,
+                EventKind.REALLOCATION,
+                task=new_owner or "",
+                container=container_id,
+                from_task=old_owner,
+                to_task=new_owner,
+            )
+        for job in plan.jobs:
+            self.stats.rotations_requested += 1
+            if self.energy_model is not None:
+                kind = self.library.catalogue.get(job.atom)
+                self.stats.rotation_energy_nj += (
+                    kind.bitstream_bytes * self.energy_model.rotation_nj_per_byte
+                )
+            self.trace.record(
+                now,
+                EventKind.ROTATION_REQUESTED,
+                task=job.owner or "",
+                detail_atom=job.atom,
+                container=job.container_id,
+                starts=job.started_at,
+                finishes=job.finish_at,
+                evicts=job.evicted,
+            )
+        self._unplaced_for = triggering_task if plan.unplaced else None
+
+    def _rotation_priority(
+        self, chosen: dict, weights: dict[str, float], loaded: Molecule
+    ) -> list[str]:
+        """Pareto-ladder rotation order for the selected molecules.
+
+        For each selected SI (heaviest first), walk the molecules that lie
+        below the chosen one in the lattice, smallest first: the atom
+        kinds each ladder step *actually misses* (beyond the baseline and
+        what is already loaded or in flight) are rotated in that order, so
+        every completed rotation unlocks the next-faster intermediate
+        molecule as soon as possible (the gradual upgrades of Fig. 6,
+        T4/T5).
+        """
+        baseline = self.library.baseline_molecule()
+        order: list[str] = []
+        ranked = sorted(
+            ((name, impl) for name, impl in chosen.items() if impl is not None),
+            key=lambda kv: -weights.get(kv[0], 0.0),
+        )
+        for name, impl in ranked:
+            si = self.library.get(name)
+            ladder = sorted(
+                (
+                    i
+                    for i in si.implementations
+                    if i.molecule <= impl.molecule
+                ),
+                key=lambda i: (i.atoms(), i.cycles),
+            )
+            for step in ladder:
+                target = self.library.restricted_to_reconfigurable(step.molecule)
+                missing = (target - baseline) - loaded
+                for kind in missing.kinds_used():
+                    if kind not in order:
+                        order.append(kind)
+        return order
+
+    def loaded_molecule(self) -> Molecule:
+        """Currently usable container-resident atoms."""
+        return self.fabric.loaded_reconfigurable()

@@ -1,0 +1,128 @@
+"""Run-time forecast fine-tuning (paper §5, task a).
+
+The compile-time Forecast points carry *initial* probability / distance /
+execution-count values; at run time the monitor observes what actually
+happens and blends the observation into the estimate with exponential
+smoothing — "our forecast updating scheme maximizes the expectation /
+probability of the prediction" (§2, novel contribution a/d).
+
+One :class:`ForecastWindow` spans from a forecast firing to its end (or
+the next firing): the executions observed in the window update the
+expectation used the next time the same (task, SI) forecast fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ForecastWindow:
+    """Executions observed since a forecast fired."""
+
+    si_name: str
+    task: str
+    opened_at: int
+    predicted: float
+    observed: int = 0
+
+
+@dataclass
+class SIForecastStats:
+    """Smoothed per-(task, SI) expectation and accuracy bookkeeping."""
+
+    expectation: float
+    windows: int = 0
+    total_predicted: float = 0.0
+    total_observed: int = 0
+    #: Windows in which the forecasted SI actually executed at least once.
+    hit_windows: int = 0
+
+    def absolute_error(self) -> float:
+        if not self.windows:
+            return 0.0
+        return abs(self.total_predicted - self.total_observed) / self.windows
+
+    def hit_probability(self) -> float:
+        """Realized probability that a fired forecast saw an execution.
+
+        The run-time counterpart of the compile-time reach probability —
+        "our forecast updating scheme maximizes the expectation /
+        probability of the prediction" (§2).
+        """
+        if not self.windows:
+            return 1.0
+        return self.hit_windows / self.windows
+
+
+class ForecastMonitor:
+    """Observes SI executions and fine-tunes forecast expectations."""
+
+    def __init__(self, *, smoothing: float = 0.5):
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing factor must be in (0, 1]")
+        self.smoothing = smoothing
+        self._stats: dict[tuple[str, str], SIForecastStats] = {}
+        self._open: dict[tuple[str, str], ForecastWindow] = {}
+
+    # -- the forecast lifecycle -------------------------------------------
+
+    def forecast_fired(
+        self, task: str, si_name: str, compile_time_expectation: float, now: int
+    ) -> float:
+        """A forecast fires; returns the (possibly fine-tuned) expectation.
+
+        The first firing uses the compile-time value; later firings use
+        the smoothed estimate.  An already-open window for the same
+        (task, SI) is closed first — consecutive forecasts delimit each
+        other.
+        """
+        key = (task, si_name)
+        if key in self._open:
+            self.forecast_ended(task, si_name, now)
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = SIForecastStats(expectation=compile_time_expectation)
+            self._stats[key] = stats
+        self._open[key] = ForecastWindow(
+            si_name=si_name,
+            task=task,
+            opened_at=now,
+            predicted=stats.expectation,
+        )
+        return stats.expectation
+
+    def si_executed(self, task: str, si_name: str) -> None:
+        """Record an execution into the open window (no-op when none)."""
+        window = self._open.get((task, si_name))
+        if window is not None:
+            window.observed += 1
+
+    def forecast_ended(self, task: str, si_name: str, now: int) -> None:
+        """Close the window and blend the observation into the estimate."""
+        key = (task, si_name)
+        window = self._open.pop(key, None)
+        if window is None:
+            return
+        stats = self._stats[key]
+        stats.windows += 1
+        stats.total_predicted += window.predicted
+        stats.total_observed += window.observed
+        if window.observed:
+            stats.hit_windows += 1
+        stats.expectation = (
+            (1 - self.smoothing) * stats.expectation
+            + self.smoothing * window.observed
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def expectation(self, task: str, si_name: str, default: float = 0.0) -> float:
+        stats = self._stats.get((task, si_name))
+        return stats.expectation if stats is not None else default
+
+    def stats(self, task: str, si_name: str) -> SIForecastStats | None:
+        return self._stats.get((task, si_name))
+
+    def open_windows(self) -> list[ForecastWindow]:
+        return list(self._open.values())

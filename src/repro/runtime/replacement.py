@@ -1,0 +1,117 @@
+"""Atom replacement policies (paper §5, task c: "replacing Atoms to
+accommodate new rotations").
+
+When the rotation scheduler needs a container for a missing Atom, a
+victim must be chosen.  Empty, unreserved containers always win; among
+loaded containers only those whose Atom is *surplus* — more instances
+loaded (or scheduled) than the current demand keeps — are candidates, so
+a replacement never tears down an Atom the active molecules still need.
+The pluggable policy then orders the candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..core.molecule import Molecule
+from ..hardware.container import AtomContainer
+from ..hardware.fabric import Fabric
+from ..hardware.reconfig import ReconfigurationPort
+
+
+class ReplacementPolicy(Protocol):
+    """Orders victim candidates; the first is evicted."""
+
+    name: str
+
+    def select(
+        self, candidates: list[AtomContainer], now: int
+    ) -> AtomContainer: ...
+
+
+class LRUPolicy:
+    """Evict the least-recently-used Atom (ties: highest container id)."""
+
+    name = "lru"
+
+    def select(self, candidates: list[AtomContainer], now: int) -> AtomContainer:
+        return min(candidates, key=lambda c: (c.last_used, -c.container_id))
+
+
+class MRUPolicy:
+    """Evict the most-recently-used Atom (anti-policy for the ablation)."""
+
+    name = "mru"
+
+    def select(self, candidates: list[AtomContainer], now: int) -> AtomContainer:
+        return max(candidates, key=lambda c: (c.last_used, c.container_id))
+
+
+class HighestIdPolicy:
+    """Deterministic id-based choice (the paper's Fig. 6 numbering habit)."""
+
+    name = "highest-id"
+
+    def select(self, candidates: list[AtomContainer], now: int) -> AtomContainer:
+        return max(candidates, key=lambda c: c.container_id)
+
+
+def future_atom_of(
+    container: AtomContainer, port: ReconfigurationPort
+) -> str | None:
+    """The Atom the container will hold once pending rotations finish."""
+    for job in port.pending_jobs():
+        if job.container_id == container.container_id:
+            return job.atom
+    return container.atom
+
+
+def victim_candidates(
+    fabric: Fabric,
+    port: ReconfigurationPort,
+    keep: Molecule,
+) -> list[AtomContainer]:
+    """Containers that may be overwritten without hurting ``keep``.
+
+    ``keep`` is the demand molecule (container-resident atom counts) that
+    must survive.  A loaded container qualifies when its kind has more
+    future instances than ``keep`` requires.
+    """
+    future_counts: dict[str, int] = {}
+    for c in fabric.containers:
+        atom = future_atom_of(c, port)
+        if atom is not None:
+            future_counts[atom] = future_counts.get(atom, 0) + 1
+    candidates = []
+    for c in fabric.containers:
+        if c.failed or port.is_reserved(c.container_id):
+            continue
+        atom = c.atom
+        if atom is None:
+            candidates.append(c)
+            continue
+        needed = keep.count(atom) if atom in keep.space else 0
+        if future_counts.get(atom, 0) > needed:
+            candidates.append(c)
+    return candidates
+
+
+def choose_victim(
+    fabric: Fabric,
+    port: ReconfigurationPort,
+    keep: Molecule,
+    policy: ReplacementPolicy,
+    now: int,
+) -> AtomContainer | None:
+    """Pick the container to overwrite next, or ``None`` if none is safe.
+
+    Empty containers are taken before any eviction; otherwise the policy
+    ranks the surplus-atom candidates.
+    """
+    candidates = victim_candidates(fabric, port, keep)
+    if not candidates:
+        return None
+    empty = [c for c in candidates if c.atom is None]
+    if empty:
+        return min(empty, key=lambda c: c.container_id)
+    return policy.select(candidates, now)

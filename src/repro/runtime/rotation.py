@@ -1,0 +1,97 @@
+"""Rotation planning (paper §5, task c: "scheduling the rotations").
+
+Given a *target* demand molecule (from molecule selection) and the
+fabric's current + scheduled Atom population, the planner computes what
+is missing — using the paper's residual operator — and issues one
+rotation request per missing instance, choosing victims through the
+replacement policy.  Atoms already loaded or already being rotated in are
+never requested again: the planner minimises the number of rotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.library import SILibrary
+from ..core.molecule import Molecule
+from ..hardware.fabric import Fabric
+from ..hardware.reconfig import ReconfigurationPort, RotationJob
+from .replacement import ReplacementPolicy, choose_victim, future_atom_of
+
+
+@dataclass
+class RotationPlan:
+    """The outcome of one planning round."""
+
+    target: Molecule
+    missing: Molecule
+    jobs: list[RotationJob] = field(default_factory=list)
+    #: Atom instances that could not be placed (no safe victim container).
+    unplaced: dict[str, int] = field(default_factory=dict)
+    #: Containers whose owner changed (the Fig. 6 'reallocations').
+    reallocated: list[tuple[int, str | None, str | None]] = field(
+        default_factory=list
+    )
+
+
+def future_population(fabric: Fabric, port: ReconfigurationPort) -> Molecule:
+    """Container-resident atoms once every scheduled rotation finishes."""
+    counts: dict[str, int] = {}
+    for container in fabric.containers:
+        atom = future_atom_of(container, port)
+        if atom is not None:
+            counts[atom] = counts.get(atom, 0) + 1
+    return fabric.space.molecule(counts)
+
+
+def plan_rotations(
+    library: SILibrary,
+    fabric: Fabric,
+    port: ReconfigurationPort,
+    demand: Molecule,
+    policy: ReplacementPolicy,
+    now: int,
+    *,
+    owner: str | None = None,
+    kind_priority: list[str] | None = None,
+) -> RotationPlan:
+    """Rotate towards ``demand`` (a reconfigurable-projection molecule).
+
+    ``demand`` counts total atom instances needed; the static baseline
+    (e.g. the built-in Load lane) is subtracted, the rest must live in
+    containers.  Because the single port serialises rotations, their
+    *order* decides how soon each intermediate molecule becomes usable:
+    ``kind_priority`` (the manager passes the Pareto-ladder order of the
+    selected molecules) puts the most valuable atoms first; remaining
+    kinds go largest-deficit-first so partially satisfiable demands
+    degrade gracefully.
+    """
+    target = library.restricted_to_reconfigurable(demand)
+    container_target = target - library.baseline_molecule()
+    population = future_population(fabric, port)
+    missing = container_target - population
+    plan = RotationPlan(target=container_target, missing=missing)
+
+    priority_rank = {
+        kind: i for i, kind in enumerate(kind_priority or [])
+    }
+    deficits = sorted(
+        ((kind, missing.count(kind)) for kind in missing.kinds_used()),
+        key=lambda kv: (priority_rank.get(kv[0], len(priority_rank)), -kv[1]),
+    )
+    for kind, count in deficits:
+        for _ in range(count):
+            victim = choose_victim(fabric, port, container_target, policy, now)
+            if victim is None:
+                plan.unplaced[kind] = plan.unplaced.get(kind, 0) + 1
+                continue
+            previous_owner = victim.owner
+            job = port.request(
+                fabric, kind, victim.container_id, now, owner=owner
+            )
+            plan.jobs.append(job)
+            if owner is not None and previous_owner != owner:
+                plan.reallocated.append(
+                    (victim.container_id, previous_owner, owner)
+                )
+    return plan

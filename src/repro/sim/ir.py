@@ -1,0 +1,156 @@
+"""A tiny program IR: enough structure to profile real applications.
+
+The forecast pipeline needs basic-block graphs with *measured* execution
+counts, branch behaviour and SI usage (Fig. 3 shows this for AES).  This
+IR lets an application be written as named blocks with cycle costs, SI
+calls and data-dependent terminators; the executor
+(:mod:`repro.sim.executor`) runs it against an environment and produces
+the profiled :class:`~repro.cfg.graph.ControlFlowGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..cfg.graph import BasicBlock, ControlFlowGraph
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional transfer."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Two-way conditional transfer; ``condition(env) -> bool``."""
+
+    condition: Callable[[dict], bool]
+    if_true: str
+    if_false: str
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Program end."""
+
+
+Terminator = Jump | Branch | Exit
+
+
+@dataclass
+class IRBlock:
+    """One basic block of the IR.
+
+    Parameters
+    ----------
+    name:
+        Unique block name.
+    cycles:
+        Core cycles of the block's plain instructions (excluding SIs).
+    si_calls:
+        ``{si_name: calls per block execution}``.
+    action:
+        Optional side effect on the environment, run on every execution
+        (this is what makes the IR a real interpreter: loop counters,
+        data transformations, ...).
+    terminator:
+        Control transfer out of the block.
+    """
+
+    name: str
+    cycles: int = 1
+    si_calls: dict[str, int] = field(default_factory=dict)
+    action: Callable[[dict], None] | None = None
+    terminator: Terminator = field(default_factory=Exit)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("IR block needs a name")
+        if self.cycles < 0:
+            raise ValueError("block cycles cannot be negative")
+        for si, n in self.si_calls.items():
+            if n < 1:
+                raise ValueError(f"SI call count for {si!r} must be positive")
+
+
+class Program:
+    """A named collection of IR blocks with a single entry."""
+
+    def __init__(self, entry: str):
+        self.entry = entry
+        self.blocks: dict[str, IRBlock] = {}
+
+    def add(self, block: IRBlock) -> IRBlock:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate IR block {block.name!r}")
+        self.blocks[block.name] = block
+        return block
+
+    def block(
+        self,
+        name: str,
+        *,
+        cycles: int = 1,
+        si_calls: dict[str, int] | None = None,
+        action: Callable[[dict], None] | None = None,
+        terminator: Terminator | None = None,
+    ) -> IRBlock:
+        """Convenience constructor-and-add."""
+        return self.add(
+            IRBlock(
+                name,
+                cycles=cycles,
+                si_calls=si_calls or {},
+                action=action,
+                terminator=terminator if terminator is not None else Exit(),
+            )
+        )
+
+    def validate(self) -> None:
+        """Check the entry and all terminator targets exist."""
+        if self.entry not in self.blocks:
+            raise ValueError(f"entry block {self.entry!r} missing")
+        for block in self.blocks.values():
+            term = block.terminator
+            targets: tuple[str, ...]
+            if isinstance(term, Jump):
+                targets = (term.target,)
+            elif isinstance(term, Branch):
+                targets = (term.if_true, term.if_false)
+            else:
+                targets = ()
+            for t in targets:
+                if t not in self.blocks:
+                    raise ValueError(
+                        f"block {block.name!r} targets unknown block {t!r}"
+                    )
+
+    def successors_of(self, name: str) -> tuple[str, ...]:
+        term = self.blocks[name].terminator
+        if isinstance(term, Jump):
+            return (term.target,)
+        if isinstance(term, Branch):
+            if term.if_true == term.if_false:
+                return (term.if_true,)
+            return (term.if_true, term.if_false)
+        return ()
+
+    def to_cfg(self) -> ControlFlowGraph:
+        """The structural BB graph (unprofiled)."""
+        self.validate()
+        cfg = ControlFlowGraph(entry=self.entry)
+        for block in self.blocks.values():
+            cfg.add_block(
+                BasicBlock(
+                    block.name,
+                    cycles=block.cycles,
+                    si_usages=dict(block.si_calls),
+                )
+            )
+        for block in self.blocks.values():
+            for succ in self.successors_of(block.name):
+                cfg.add_edge(block.name, succ)
+        return cfg

@@ -1,0 +1,67 @@
+"""Core-processor cost model (the paper's DLX substitute).
+
+"We currently use a DLX core, but conceptually we are not limited to any
+specific core" (§6).  All RISPP results depend only on relative
+instruction costs, so the behavioural model is a per-class cycle table
+for the plain ISA plus the SI issue interface.  Used to derive IR block
+cycle costs from instruction mixes and to price the software molecules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: A five-stage in-order pipeline's effective costs per instruction class.
+DEFAULT_COSTS: dict[str, int] = {
+    "alu": 1,
+    "shift": 1,
+    "mul": 3,
+    "load": 2,
+    "store": 1,
+    "branch": 2,  # average including misprediction bubbles
+    "call": 3,
+    "nop": 1,
+}
+
+
+@dataclass
+class CoreModel:
+    """Cycle-cost model of the scalar core."""
+
+    frequency_mhz: float = 100.0
+    costs: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_COSTS))
+    #: Fixed cost of issuing an SI (decode + operand marshalling).
+    si_issue_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError("core frequency must be positive")
+        if self.si_issue_cycles < 0:
+            raise ValueError("SI issue cost cannot be negative")
+        for kind, cost in self.costs.items():
+            if cost < 1:
+                raise ValueError(f"cost of {kind!r} must be at least one cycle")
+
+    def instruction_cycles(self, kind: str) -> int:
+        """Cycles of one plain instruction."""
+        try:
+            return self.costs[kind]
+        except KeyError:
+            raise ValueError(f"unknown instruction class {kind!r}") from None
+
+    def block_cycles(self, mix: dict[str, int]) -> int:
+        """Cycles of a basic block given its instruction mix."""
+        total = 0
+        for kind, count in mix.items():
+            if count < 0:
+                raise ValueError("instruction counts cannot be negative")
+            total += count * self.instruction_cycles(kind)
+        return total
+
+    def cycles_to_us(self, cycles: int) -> float:
+        """Convert core cycles to microseconds."""
+        return cycles / self.frequency_mhz
+
+    def us_to_cycles(self, micros: float) -> int:
+        """Convert microseconds to core cycles (rounded)."""
+        return round(micros * self.frequency_mhz)

@@ -1,0 +1,112 @@
+"""Event trace: the machine-readable form of the Fig. 6 timeline.
+
+Every interesting run-time event — forecasts, container reallocations,
+rotation starts/completions, SI executions and their SW/HW mode switches
+— is recorded as an :class:`Event`.  Benches and tests assert directly on
+the event sequence; :meth:`Trace.render_timeline` prints the
+human-readable scenario view.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    """Run-time event categories."""
+
+    FORECAST = "forecast"
+    FORECAST_END = "forecast_end"
+    REALLOCATION = "reallocation"
+    ROTATION_REQUESTED = "rotation_requested"
+    ROTATION_STARTED = "rotation_started"
+    ROTATION_COMPLETED = "rotation_completed"
+    SI_EXECUTED = "si_executed"
+    SI_MODE_SWITCH = "si_mode_switch"
+    TASK_STEP = "task_step"
+    CONTAINER_FAILED = "container_failed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped run-time event."""
+
+    cycle: int
+    kind: EventKind
+    task: str = ""
+    si: str = ""
+    detail: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        bits = [f"@{self.cycle}", self.kind.value]
+        if self.task:
+            bits.append(f"task={self.task}")
+        if self.si:
+            bits.append(f"si={self.si}")
+        if self.detail:
+            bits.append(str(self.detail))
+        return f"Event({', '.join(bits)})"
+
+
+class Trace:
+    """An append-only, time-ordered event log."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def record(
+        self,
+        cycle: int,
+        kind: EventKind,
+        *,
+        task: str = "",
+        si: str = "",
+        **detail,
+    ) -> Event:
+        if self.events and cycle < 0:
+            raise ValueError("event cycle cannot be negative")
+        event = Event(cycle=cycle, kind=kind, task=task, si=si, detail=detail)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def for_task(self, task: str) -> list[Event]:
+        return [e for e in self.events if e.task == task]
+
+    def for_si(self, si: str) -> list[Event]:
+        return [e for e in self.events if e.si == si]
+
+    def first(self, kind: EventKind, **detail_filter) -> Event | None:
+        """Earliest event of ``kind`` whose detail matches the filter."""
+        for e in self.events:
+            if e.kind is not kind:
+                continue
+            if all(e.detail.get(k) == v for k, v in detail_filter.items()):
+                return e
+        return None
+
+    def render_timeline(self, *, max_events: int | None = None) -> str:
+        """A readable cycle-ordered log (the Fig. 6 presentation)."""
+        lines = []
+        events = self.events if max_events is None else self.events[:max_events]
+        for e in events:
+            parts = [f"{e.cycle:>10}", f"{e.kind.value:<20}"]
+            if e.task:
+                parts.append(f"{e.task:<8}")
+            if e.si:
+                parts.append(f"{e.si:<10}")
+            if e.detail:
+                parts.append(
+                    " ".join(f"{k}={v}" for k, v in sorted(e.detail.items()))
+                )
+            lines.append(" ".join(parts))
+        return "\n".join(lines)

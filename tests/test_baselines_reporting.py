@@ -1,0 +1,124 @@
+"""Tests for the ASIP/software baselines and the text renderers."""
+
+import pytest
+
+from repro.baselines import ExtensibleProcessor, SoftwareProcessor
+from repro.core import ForecastedSI
+from repro.reporting import render_bars, render_series, render_surface, render_table
+
+
+@pytest.fixture()
+def workload(mini_library):
+    return [
+        ForecastedSI(mini_library.get("HT"), 100),
+        ForecastedSI(mini_library.get("SATD"), 400),
+    ]
+
+
+class TestSoftwareProcessor:
+    def test_always_software(self, mini_library):
+        sw = SoftwareProcessor(mini_library)
+        assert sw.si_cycles("HT") == 298
+        assert sw.execute_workload({"HT": 2, "SATD": 1}) == 2 * 298 + 544
+
+    def test_negative_counts_rejected(self, mini_library):
+        with pytest.raises(ValueError):
+            SoftwareProcessor(mini_library).execute_workload({"HT": -1})
+
+
+class TestExtensibleProcessor:
+    def test_zero_budget_equals_software(self, mini_library, workload):
+        asip = ExtensibleProcessor.design(mini_library, workload, 0)
+        sw = SoftwareProcessor(mini_library)
+        profile = {"HT": 100, "SATD": 400}
+        assert asip.execute_workload(profile) == sw.execute_workload(profile)
+
+    def test_large_budget_accelerates_everything(self, mini_library, workload):
+        asip = ExtensibleProcessor.design(mini_library, workload, 100)
+        assert asip.si_cycles("HT") < 298
+        assert asip.si_cycles("SATD") < 544
+
+    def test_tight_budget_prioritises_hot_si(self, mini_library, workload):
+        # SATD dominates the workload; a tight budget goes to it first.
+        asip = ExtensibleProcessor.design(mini_library, workload, 4)
+        assert asip.si_cycles("SATD") < 544
+
+    def test_dedicated_area_is_sum_not_supremum(self, mini_library, workload):
+        asip = ExtensibleProcessor.design(mini_library, workload, 100)
+        per_si = sum(
+            abs(mini_library.restricted_to_reconfigurable(i.molecule))
+            for i in asip.chosen.values()
+            if i is not None
+        )
+        assert asip.dedicated_atoms == per_si
+        # The shared-area supremum is never larger than dedicated area.
+        assert abs(asip.area_molecule) <= asip.dedicated_atoms
+
+    def test_share_atoms_mode_selects_at_least_as_much(self, mini_library, workload):
+        dedicated = ExtensibleProcessor.design(mini_library, workload, 6)
+        shared = ExtensibleProcessor.design(
+            mini_library, workload, 6, share_atoms=True
+        )
+        profile = {"HT": 100, "SATD": 400}
+        assert shared.execute_workload(profile) <= dedicated.execute_workload(profile)
+
+    def test_unselected_si_runs_software(self, mini_library, workload):
+        asip = ExtensibleProcessor.design(mini_library, workload, 4)
+        # Whatever was not selected must fall back to software cycles.
+        for name, impl in asip.chosen.items():
+            if impl is None:
+                assert asip.si_cycles(name) == mini_library.get(name).software_cycles
+
+    def test_invalid_budget(self, mini_library, workload):
+        with pytest.raises(ValueError):
+            ExtensibleProcessor.design(mini_library, workload, -1)
+
+
+class TestRenderers:
+    def test_table_alignment_and_content(self):
+        text = render_table(
+            ["SI", "cycles"], [["SATD_4x4", 544], ["HT_4x4", 298]], title="t"
+        )
+        assert "SATD_4x4" in text and "544" in text and text.startswith("t")
+        assert text.count("+-") >= 3
+
+    def test_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_bars_log_scale(self):
+        text = render_bars(
+            {"Opt. SW": 544, "4 Atoms": 24}, log_scale=True, title="fig11"
+        )
+        assert "fig11" in text
+        # log scale keeps the small bar visible
+        lines = text.splitlines()
+        assert all("#" in line for line in lines[1:])
+
+    def test_bars_validation(self):
+        with pytest.raises(ValueError):
+            render_bars({})
+        with pytest.raises(ValueError):
+            render_bars({"x": -1})
+        with pytest.raises(ValueError):
+            render_bars({"x": 1}, width=0)
+
+    def test_series(self):
+        text = render_series(
+            {"SATD_4x4": [(5, 24), (18, 12)]}, title="fig13", x_label="atoms"
+        )
+        assert "SATD_4x4" in text and "(5, 24)" in text
+
+    def test_surface_shading(self):
+        grid = [[0.0, 5.0, 10.0], [1.0, 2.0, 3.0]]
+        text = render_surface(grid, ["p=1.0", "p=0.4"], ["a", "b", "c"])
+        assert "p=1.0" in text
+        assert "@" in text  # the max cell uses the densest character
+
+    def test_surface_validation(self):
+        with pytest.raises(ValueError):
+            render_surface([], [], [])
+        with pytest.raises(ValueError):
+            render_surface([[1.0]], ["a", "b"], ["c"])

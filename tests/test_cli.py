@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    @pytest.mark.parametrize(
+        "name", ["fig1", "fig4", "fig11", "fig12", "fig13", "table1", "table2"]
+    )
+    def test_fast_experiments_render(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 3
+
+    def test_fig11_contains_paper_points(self, capsys):
+        main(["fig11"])
+        out = capsys.readouterr().out
+        for value in ("544", "488", "298", "24", "20", "18"):
+            assert value in out
+
+    def test_fig12_reports_deviation(self, capsys):
+        main(["fig12"])
+        out = capsys.readouterr().out
+        assert "201,065" in out and "%" in out
+
+    def test_table2_has_30_molecules(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        data_rows = [
+            line
+            for line in out.splitlines()
+            if line.startswith("|") and "SI" not in line.split("|")[1]
+        ]
+        assert len(data_rows) == 30
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

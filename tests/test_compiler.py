@@ -1,0 +1,231 @@
+"""Tests for the SI-identification compiler passes."""
+
+import pytest
+
+from repro.compiler import (
+    Constraints,
+    Operation,
+    OperationGraph,
+    best_candidates,
+    candidate_dataflow,
+    catalogue_for_candidate,
+    enumerate_si_candidates,
+    si_from_candidate,
+)
+
+
+def butterfly_graph() -> OperationGraph:
+    """A 1-D transform butterfly: the Fig. 9 add/sub flow as scalar ops.
+
+    e0=x0+x3, e1=x1+x2, e2=x1-x2, e3=x0-x3;
+    y0=e0+e1, y2=e0-e1, y1=e3+e2, y3=e3-e2.
+    """
+    return OperationGraph(
+        [
+            Operation("e0", "add", ("%x0", "%x3")),
+            Operation("e1", "add", ("%x1", "%x2")),
+            Operation("e2", "sub", ("%x1", "%x2")),
+            Operation("e3", "sub", ("%x0", "%x3")),
+            Operation("y0", "add", ("e0", "e1")),
+            Operation("y2", "sub", ("e0", "e1")),
+            Operation("y1", "add", ("e3", "e2")),
+            Operation("y3", "sub", ("e3", "e2")),
+        ],
+        live_outs=("y0", "y1", "y2", "y3"),
+    )
+
+
+def mixed_graph() -> OperationGraph:
+    """Arithmetic cluster guarded by a load and a store (must stay out).
+
+    Arithmetic costs two core cycles each (issue + execute) but chains at
+    one level per cycle in hardware.
+    """
+    return OperationGraph(
+        [
+            Operation("ld", "load", ("%addr",), latency=2),
+            Operation("a", "add", ("ld", "%k"), latency=2),
+            Operation("b", "shl", ("a",), latency=2),
+            Operation("c", "sub", ("b", "ld"), latency=2),
+            Operation("st", "store", ("c", "%addr")),
+        ],
+        live_outs=("st",),
+    )
+
+
+class TestOperationGraph:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Operation("", "add")
+        with pytest.raises(ValueError):
+            Operation("%x", "add")
+        with pytest.raises(ValueError):
+            Operation("a", "")
+        with pytest.raises(ValueError):
+            Operation("a", "add", latency=0)
+        with pytest.raises(ValueError):
+            OperationGraph([Operation("a", "add", ("ghost",))])
+        with pytest.raises(ValueError):
+            OperationGraph([Operation("a", "add")], live_outs=("nope",))
+        with pytest.raises(ValueError):
+            OperationGraph(
+                [Operation("a", "add"), Operation("a", "sub")]
+            )
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            OperationGraph(
+                [
+                    Operation("a", "add", ("b",)),
+                    Operation("b", "add", ("a",)),
+                ]
+            )
+
+    def test_io_of_subsets(self):
+        g = butterfly_graph()
+        stage1 = frozenset({"e0", "e1", "e2", "e3"})
+        assert g.inputs_of(stage1) == {"%x0", "%x1", "%x2", "%x3"}
+        # all stage-1 values are consumed by stage 2 (outside the subset)
+        assert g.outputs_of(stage1) == stage1
+        everything = frozenset(g.op_ids())
+        assert g.outputs_of(everything) == {"y0", "y1", "y2", "y3"}
+
+    def test_convexity(self):
+        g = butterfly_graph()
+        assert g.is_convex(frozenset({"e0", "e1", "y0"}))
+        # e0 -> y0 with y0's other producer e1 outside is still convex;
+        # but {e0, y0, y2} with e1 outside feeding both is fine too —
+        # a *non*-convex set needs a path out and back in:
+        g2 = OperationGraph(
+            [
+                Operation("a", "add", ("%x",)),
+                Operation("b", "add", ("a",)),
+                Operation("c", "add", ("b",)),
+            ]
+        )
+        assert not g2.is_convex(frozenset({"a", "c"}))
+        assert g2.is_convex(frozenset({"a", "b", "c"}))
+
+    def test_costs(self):
+        g = butterfly_graph()
+        everything = frozenset(g.op_ids())
+        assert g.software_cycles(everything) == 8
+        assert g.critical_path_cycles(everything) == 2
+        assert g.kinds_of(everything) == {"add": 4, "sub": 4}
+
+
+class TestEnumeration:
+    def test_finds_the_full_butterfly(self):
+        g = butterfly_graph()
+        candidates = enumerate_si_candidates(
+            g, Constraints(max_inputs=4, max_outputs=4, max_ops=8)
+        )
+        assert candidates
+        best = candidates[0]
+        # The whole butterfly is the best candidate: 8 ops in 2 levels.
+        assert best.ops == frozenset(g.op_ids())
+        assert best.software_cycles == 8
+        assert best.hardware_cycles == 2 + 1  # critical path + I/O overhead
+        assert best.speedup > 2.5
+
+    def test_io_constraints_prune(self):
+        g = butterfly_graph()
+        tight = enumerate_si_candidates(
+            g, Constraints(max_inputs=2, max_outputs=1, max_ops=8)
+        )
+        for c in tight:
+            assert len(c.inputs) <= 2
+            assert len(c.outputs) <= 1
+
+    def test_forbidden_kinds_stay_on_core(self):
+        g = mixed_graph()
+        candidates = enumerate_si_candidates(
+            g, Constraints(max_inputs=4, max_outputs=2, max_ops=8)
+        )
+        for c in candidates:
+            assert "ld" not in c.ops
+            assert "st" not in c.ops
+
+    def test_all_candidates_convex_and_profitable(self):
+        g = butterfly_graph()
+        for c in enumerate_si_candidates(g):
+            assert g.is_convex(c.ops)
+            assert c.saved_cycles > 0
+
+    def test_best_candidates_disjoint(self):
+        g = butterfly_graph()
+        chosen = best_candidates(
+            g, Constraints(max_inputs=2, max_outputs=2, max_ops=4), count=3
+        )
+        seen: set[str] = set()
+        for c in chosen:
+            assert not (c.ops & seen)
+            seen |= c.ops
+
+    def test_constraint_validation(self):
+        with pytest.raises(ValueError):
+            Constraints(max_inputs=0)
+        with pytest.raises(ValueError):
+            Constraints(min_ops=3, max_ops=2)
+        with pytest.raises(ValueError):
+            Constraints(io_overhead_cycles=-1)
+        with pytest.raises(ValueError):
+            best_candidates(butterfly_graph(), count=0)
+
+    def test_explosion_guard(self):
+        g = butterfly_graph()
+        with pytest.raises(RuntimeError):
+            enumerate_si_candidates(g, max_candidates=3)
+
+
+class TestEmission:
+    def test_dataflow_groups_kinds(self):
+        g = butterfly_graph()
+        candidate = enumerate_si_candidates(
+            g, Constraints(max_inputs=4, max_outputs=4, max_ops=8)
+        )[0]
+        df = candidate_dataflow(g, candidate)
+        # add and sub share the AddSub atom (the Fig. 9 reuse story).
+        assert df.executions_per_kind() == {"AddSub": 8}
+
+    def test_catalogue_covers_kinds(self):
+        g = mixed_graph()
+        candidate = enumerate_si_candidates(g)[0]
+        cat = catalogue_for_candidate(g, candidate)
+        df = candidate_dataflow(g, candidate)
+        for kind in df.executions_per_kind():
+            assert kind in cat
+
+    def test_si_from_candidate_end_to_end(self):
+        g = butterfly_graph()
+        candidate = enumerate_si_candidates(
+            g, Constraints(max_inputs=4, max_outputs=4, max_ops=8)
+        )[0]
+        si, catalogue, report = si_from_candidate("BUTTERFLY", g, candidate)
+        assert si.name == "BUTTERFLY"
+        assert report.kept == len(si.implementations)
+        assert si.software_cycles == candidate.software_cycles
+        # The generated molecules trade atoms against latency.
+        atoms = sorted(i.atoms() for i in si.implementations)
+        cycles = [i.cycles for i in sorted(si.implementations, key=lambda i: i.atoms())]
+        assert atoms == sorted(set(atoms))
+        assert cycles[0] >= cycles[-1]
+
+    def test_existing_catalogue_must_cover_kinds(self):
+        from repro.core import AtomCatalogue, AtomKind
+
+        g = butterfly_graph()
+        candidate = enumerate_si_candidates(
+            g, Constraints(max_inputs=4, max_outputs=4, max_ops=8)
+        )[0]
+        wrong = AtomCatalogue.of([AtomKind("Unrelated", bitstream_bytes=10)])
+        with pytest.raises(ValueError):
+            si_from_candidate("X", g, candidate, catalogue=wrong)
+
+    def test_custom_kind_map(self):
+        g = butterfly_graph()
+        candidate = enumerate_si_candidates(
+            g, Constraints(max_inputs=4, max_outputs=4, max_ops=8)
+        )[0]
+        df = candidate_dataflow(g, candidate, kind_map={"add": "A", "sub": "B"})
+        assert set(df.executions_per_kind()) == {"A", "B"}

@@ -1,0 +1,125 @@
+"""Property-based tests: (N^n, union, intersection, <=) is a complete lattice."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AtomSpace, Molecule, infimum, supremum
+
+SPACE = AtomSpace(["A", "B", "C", "D"])
+
+counts = st.tuples(*[st.integers(min_value=0, max_value=8)] * SPACE.dimension)
+molecules = counts.map(lambda c: Molecule(SPACE, c))
+
+
+@given(molecules, molecules)
+def test_union_commutative(a, b):
+    assert (a | b) == (b | a)
+
+
+@given(molecules, molecules)
+def test_intersection_commutative(a, b):
+    assert (a & b) == (b & a)
+
+
+@given(molecules, molecules, molecules)
+def test_union_associative(a, b, c):
+    assert ((a | b) | c) == (a | (b | c))
+
+
+@given(molecules, molecules, molecules)
+def test_intersection_associative(a, b, c):
+    assert ((a & b) & c) == (a & (b & c))
+
+
+@given(molecules)
+def test_union_idempotent_and_neutral(a):
+    assert (a | a) == a
+    assert (a | SPACE.zero()) == a
+
+
+@given(molecules, molecules)
+def test_absorption_laws(a, b):
+    assert (a | (a & b)) == a
+    assert (a & (a | b)) == a
+
+
+@given(molecules)
+def test_order_reflexive(a):
+    assert a <= a
+
+
+@given(molecules, molecules)
+def test_order_antisymmetric(a, b):
+    if a <= b and b <= a:
+        assert a == b
+
+
+@given(molecules, molecules, molecules)
+def test_order_transitive(a, b, c):
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(molecules, molecules)
+def test_union_is_least_upper_bound(a, b):
+    join = a | b
+    assert a <= join and b <= join
+    # No strictly smaller upper bound exists: join is minimal component-wise.
+    for i, (ai, bi, ji) in enumerate(zip(a.counts, b.counts, join.counts)):
+        assert ji == max(ai, bi)
+
+
+@given(molecules, molecules)
+def test_intersection_is_greatest_lower_bound(a, b):
+    meet = a & b
+    assert meet <= a and meet <= b
+    for ai, bi, mi in zip(a.counts, b.counts, meet.counts):
+        assert mi == min(ai, bi)
+
+
+@given(molecules, molecules)
+def test_order_consistent_with_lattice_ops(a, b):
+    # a <= b  iff  a | b == b  iff  a & b == a
+    assert (a <= b) == ((a | b) == b) == ((a & b) == a)
+
+
+@given(molecules, molecules)
+def test_residual_definition(want, have):
+    res = want - have
+    for wi, hi, ri in zip(want.counts, have.counts, res.counts):
+        assert ri == max(wi - hi, 0)
+
+
+@given(molecules, molecules)
+def test_residual_completes_the_requirement(want, have):
+    # Loading the residual on top of what is available always suffices.
+    assert want <= (have + (want - have))
+
+
+@given(molecules, molecules)
+def test_residual_zero_iff_fits(want, have):
+    assert (want - have).is_zero() == (want <= have)
+
+
+@given(molecules, molecules)
+def test_determinant_triangle_properties(a, b):
+    assert abs(a | b) <= abs(a) + abs(b)
+    assert abs(a | b) >= max(abs(a), abs(b))
+    assert abs(a & b) <= min(abs(a), abs(b))
+    assert abs(a | b) + abs(a & b) == abs(a) + abs(b)  # modular law on N^n
+
+
+@settings(max_examples=50)
+@given(st.lists(molecules, min_size=1, max_size=6))
+def test_sup_inf_bound_every_member(ms):
+    sup, inf = supremum(ms), infimum(ms)
+    for m in ms:
+        assert inf <= m <= sup
+
+
+@settings(max_examples=50)
+@given(st.lists(molecules, min_size=1, max_size=5), molecules)
+def test_supremum_is_least(ms, candidate):
+    # Any upper bound of ms dominates sup(ms).
+    if all(m <= candidate for m in ms):
+        assert supremum(ms) <= candidate

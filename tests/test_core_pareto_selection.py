@@ -1,0 +1,184 @@
+"""Unit tests for Pareto analysis (Fig. 13) and run-time molecule selection."""
+
+import pytest
+
+from repro.core import (
+    AtomCatalogue,
+    AtomKind,
+    ForecastedSI,
+    MoleculeImpl,
+    SILibrary,
+    SpecialInstruction,
+    is_pareto_optimal,
+    pareto_front,
+    pareto_front_of,
+    select_exhaustive,
+    select_greedy,
+    tradeoff_points,
+    upgrade_path,
+)
+
+
+@pytest.fixture()
+def catalogue():
+    return AtomCatalogue.of(
+        [
+            AtomKind("Load", reconfigurable=False),
+            AtomKind("Pack"),
+            AtomKind("Transform"),
+            AtomKind("SATD"),
+        ]
+    )
+
+
+@pytest.fixture()
+def library(catalogue):
+    space = catalogue.space
+    ht = SpecialInstruction(
+        "HT",
+        space,
+        298,
+        [
+            MoleculeImpl(space.molecule({"Load": 1, "Pack": 1, "Transform": 1}), 22),
+            MoleculeImpl(space.molecule({"Load": 1, "Pack": 1, "Transform": 2}), 17),
+            MoleculeImpl(space.molecule({"Load": 4, "Pack": 4, "Transform": 4}), 8),
+        ],
+    )
+    satd = SpecialInstruction(
+        "SATD",
+        space,
+        544,
+        [
+            MoleculeImpl(
+                space.molecule({"Load": 1, "Pack": 1, "Transform": 1, "SATD": 1}), 24
+            ),
+            MoleculeImpl(
+                space.molecule({"Load": 2, "Pack": 1, "Transform": 2, "SATD": 1}), 18
+            ),
+            MoleculeImpl(
+                space.molecule({"Load": 4, "Pack": 4, "Transform": 4, "SATD": 2}), 12
+            ),
+        ],
+    )
+    return SILibrary(catalogue, [ht, satd])
+
+
+class TestPareto:
+    def test_points_sorted(self, library):
+        pts = tradeoff_points(library.get("HT"))
+        assert [p.atoms for p in pts] == sorted(p.atoms for p in pts)
+
+    def test_front_strictly_improves(self, library):
+        front = pareto_front_of(library.get("SATD"))
+        for a, b in zip(front, front[1:]):
+            assert b.atoms > a.atoms
+            assert b.cycles < a.cycles
+
+    def test_dominated_point_removed(self, library):
+        pts = tradeoff_points(library.get("HT"))
+        # Craft a dominated point: same atoms as the best, more cycles.
+        from repro.core.pareto import ParetoPoint
+
+        dominated = ParetoPoint(pts[-1].atoms, pts[-1].cycles + 5, pts[-1].impl)
+        front = pareto_front(pts + [dominated])
+        assert dominated not in front
+
+    def test_is_pareto_optimal(self, library):
+        pts = tradeoff_points(library.get("HT"))
+        front = pareto_front(pts)
+        for p in front:
+            assert is_pareto_optimal(p, pts)
+
+    def test_reconfigurable_only_projection(self, library, catalogue):
+        pts = tradeoff_points(
+            library.get("HT"),
+            reconfigurable_only_kinds=catalogue.reconfigurable_names(),
+        )
+        # Load is static, so the smallest HT molecule occupies 2 containers.
+        assert pts[0].atoms == 2
+
+
+class TestSelection:
+    def test_zero_budget_selects_nothing(self, library):
+        reqs = [ForecastedSI(library.get("HT"), 10)]
+        result = select_greedy(library, reqs, 0)
+        assert result.chosen["HT"] is None
+        assert result.containers_used == 0
+
+    def test_minimal_budget_selects_minimal_molecule(self, library):
+        reqs = [ForecastedSI(library.get("HT"), 10)]
+        result = select_greedy(library, reqs, 2)
+        assert result.chosen["HT"] is not None
+        assert result.chosen["HT"].cycles == 22
+
+    def test_large_budget_selects_fastest(self, library):
+        reqs = [ForecastedSI(library.get("HT"), 10)]
+        result = select_greedy(library, reqs, 100)
+        assert result.chosen["HT"].cycles == 8
+
+    def test_sharing_between_sis(self, library):
+        # HT's 2-container molecule is a subset of SATD's minimal molecule:
+        # choosing both must not double-charge shared atoms.
+        reqs = [
+            ForecastedSI(library.get("HT"), 1),
+            ForecastedSI(library.get("SATD"), 1),
+        ]
+        result = select_greedy(library, reqs, 3)
+        assert result.chosen["SATD"] is not None
+        assert result.chosen["HT"] is not None
+        assert result.containers_used <= 3
+
+    def test_weights_steer_selection(self, library):
+        # With a tight budget the heavily used SI wins the containers.
+        reqs = [
+            ForecastedSI(library.get("HT"), 1),
+            ForecastedSI(library.get("SATD"), 1000),
+        ]
+        result = select_greedy(library, reqs, 3)
+        assert result.chosen["SATD"] is not None
+
+    def test_greedy_matches_exhaustive_on_small_case(self, library):
+        reqs = [
+            ForecastedSI(library.get("HT"), 5),
+            ForecastedSI(library.get("SATD"), 20),
+        ]
+        for budget in range(0, 12):
+            g = select_greedy(library, reqs, budget)
+            e = select_exhaustive(library, reqs, budget)
+            assert g.total_benefit <= e.total_benefit + 1e-9
+            # Greedy should be close to optimal on this library.
+            if e.total_benefit:
+                assert g.total_benefit >= 0.85 * e.total_benefit
+
+    def test_upgrade_path_monotone(self, library):
+        reqs = [ForecastedSI(library.get("SATD"), 10)]
+        path = upgrade_path(library, reqs, 12)
+        benefits = [r.total_benefit for r in path]
+        assert benefits == sorted(benefits)
+        assert all(r.containers_used <= b for b, r in enumerate(path))
+
+    def test_loaded_atoms_prefer_reuse(self, library, catalogue):
+        space = catalogue.space
+        loaded = space.molecule({"Pack": 1, "Transform": 2})
+        reqs = [ForecastedSI(library.get("HT"), 10)]
+        result = select_greedy(library, reqs, 3, loaded=loaded)
+        # The 17-cycle molecule reuses exactly the loaded atoms.
+        assert result.chosen["HT"].cycles in (17, 8)
+
+    def test_negative_budget_rejected(self, library):
+        with pytest.raises(ValueError):
+            select_greedy(library, [], -1)
+        with pytest.raises(ValueError):
+            select_exhaustive(library, [], -1)
+
+    def test_negative_weight_rejected(self, library):
+        with pytest.raises(ValueError):
+            ForecastedSI(library.get("HT"), -1)
+
+    def test_exhaustive_counts_combinations(self, library):
+        reqs = [
+            ForecastedSI(library.get("HT"), 1),
+            ForecastedSI(library.get("SATD"), 1),
+        ]
+        result = select_exhaustive(library, reqs, 100)
+        assert result.considered == 4 * 4  # (None + 3 impls) per SI

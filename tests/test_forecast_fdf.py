@@ -1,0 +1,113 @@
+"""Unit tests for the Forecast Decision Function (Fig. 4)."""
+
+import math
+
+import pytest
+
+from repro.forecast import ForecastDecisionFunction, rotation_offset
+
+
+@pytest.fixture()
+def fdf() -> ForecastDecisionFunction:
+    return ForecastDecisionFunction(
+        t_rot=1000.0,
+        t_sw=544.0,
+        t_hw=24.0,
+        rotation_energy=5200.0,
+        alpha=1.0,
+    )
+
+
+class TestRotationOffset:
+    def test_break_even_formula(self):
+        # offset = alpha * E_rot / (T_sw - T_hw)
+        assert rotation_offset(1.0, 520.0, 544.0, 24.0) == pytest.approx(1.0)
+        assert rotation_offset(2.0, 520.0, 544.0, 24.0) == pytest.approx(2.0)
+
+    def test_alpha_scales_linearly(self):
+        base = rotation_offset(1.0, 1000.0, 100.0, 10.0)
+        assert rotation_offset(3.0, 1000.0, 100.0, 10.0) == pytest.approx(3 * base)
+
+    def test_rejects_hw_not_faster(self):
+        with pytest.raises(ValueError):
+            rotation_offset(1.0, 100.0, 10.0, 10.0)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            rotation_offset(-1.0, 100.0, 20.0, 10.0)
+        with pytest.raises(ValueError):
+            rotation_offset(1.0, -100.0, 20.0, 10.0)
+
+
+class TestFDFShape:
+    def test_sweet_spot_demands_only_offset(self, fdf):
+        lo, hi = fdf.sweet_spot()
+        assert fdf(1.0, lo) == pytest.approx(fdf.offset)
+        assert fdf(1.0, (lo + hi) / 2) == pytest.approx(fdf.offset)
+        assert fdf(1.0, hi) == pytest.approx(fdf.offset)
+
+    def test_wall_below_rotation_time(self, fdf):
+        # Closer than one rotation time the demand explodes (Fig. 4 left wall).
+        assert fdf(1.0, 0.1 * fdf.t_rot) > fdf(1.0, 0.5 * fdf.t_rot) > fdf.offset
+
+    def test_rise_beyond_far_horizon(self, fdf):
+        far = fdf.far_horizon * fdf.t_rot
+        assert fdf(1.0, 100 * fdf.t_rot) > fdf(1.0, 20 * fdf.t_rot) > fdf.offset
+
+    def test_bathtub_monotonicity(self, fdf):
+        # decreasing up to T_rot, flat to 10 T_rot, increasing after.
+        ts = [0.1, 0.3, 0.6, 1.0]
+        values = [fdf(1.0, t * fdf.t_rot) for t in ts]
+        assert values == sorted(values, reverse=True)
+        ts = [10.0, 25.1, 63.1, 100.0]
+        values = [fdf(1.0, t * fdf.t_rot) for t in ts]
+        assert values == sorted(values)
+
+    def test_lower_probability_demands_more(self, fdf):
+        t = 0.5 * fdf.t_rot
+        assert fdf(0.4, t) > fdf(0.7, t) > fdf(1.0, t)
+
+    def test_probability_scaling_inverse(self, fdf):
+        t = 0.5 * fdf.t_rot
+        extra_full = fdf(1.0, t) - fdf.offset
+        extra_40 = fdf(0.4, t) - fdf.offset
+        assert extra_40 == pytest.approx(extra_full / 0.4)
+
+    def test_infinite_distance_is_never_candidate(self, fdf):
+        assert math.isinf(fdf(1.0, math.inf))
+
+    def test_invalid_inputs(self, fdf):
+        with pytest.raises(ValueError):
+            fdf(0.0, 100.0)
+        with pytest.raises(ValueError):
+            fdf(1.5, 100.0)
+        with pytest.raises(ValueError):
+            fdf(0.5, -1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ForecastDecisionFunction(t_rot=0, t_sw=10, t_hw=1)
+        with pytest.raises(ValueError):
+            ForecastDecisionFunction(t_rot=10, t_sw=1, t_hw=1)
+        with pytest.raises(ValueError):
+            ForecastDecisionFunction(t_rot=10, t_sw=10, t_hw=1, far_horizon=0)
+
+
+class TestSurface:
+    def test_grid_shape_matches_fig4_axes(self, fdf):
+        # Fig. 4: log-spaced t/T_rot in [0.1, 100], p in {100, 70, 40}%.
+        distances = [fdf.t_rot * (0.1 * (10 ** (i / 5))) for i in range(16)]
+        probs = [1.0, 0.7, 0.4]
+        surface = fdf.surface(distances, probs)
+        assert len(surface) == 3
+        assert all(len(row) == 16 for row in surface)
+
+    def test_surface_rows_ordered_by_probability(self, fdf):
+        distances = [fdf.t_rot * x for x in (0.2, 1.5, 50.0)]
+        s = fdf.surface(distances, [1.0, 0.4])
+        assert all(lo >= hi for hi, lo in zip(s[0], s[1]))
+
+    def test_fig4_value_range(self, fdf):
+        # The plotted demand tops out around 500 executions near t=0.1 T_rot.
+        worst = fdf(0.4, 0.1 * fdf.t_rot)
+        assert 200 <= worst <= 2000

@@ -1,0 +1,177 @@
+"""Tests for the future-work MC/LF extension SIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.h264 import SOFTWARE_CYCLES
+from repro.apps.h264.extensions import (
+    EXTENSION_SI_COUNTS,
+    EXTENSION_SOFTWARE_CYCLES,
+    EXTENSION_SW_CYCLES_PER_MB,
+    RESIDUAL_CORE_OVERHEAD,
+    build_extended_catalogue,
+    build_extended_library,
+    clip_pixel,
+    deblock_block_edge,
+    deblock_edge,
+    extended_macroblock_cycles,
+    interpolate_half_pel_row,
+    mc_half_pel_block,
+    sixtap_half_pel,
+)
+
+pixels = st.integers(0, 255)
+
+
+class TestSixTap:
+    def test_flat_region_is_preserved(self):
+        assert sixtap_half_pel([80] * 6) == 80
+
+    def test_linear_ramp_interpolates_midpoint(self):
+        # On linear data the 6-tap filter returns the exact midpoint.
+        assert sixtap_half_pel([0, 10, 20, 30, 40, 50]) == 25
+
+    def test_clipping(self):
+        assert sixtap_half_pel([255] * 6) == 255
+        assert sixtap_half_pel([0, 255, 0, 0, 255, 0]) >= 0
+
+    @given(arrays(np.int64, (6,), elements=pixels))
+    def test_output_in_pixel_range(self, samples):
+        assert 0 <= sixtap_half_pel(samples) <= 255
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            sixtap_half_pel([1, 2, 3])
+
+    def test_row_interpolation_length(self):
+        row = np.arange(13)
+        assert interpolate_half_pel_row(row).shape == (8,)
+        with pytest.raises(ValueError):
+            interpolate_half_pel_row([1, 2, 3])
+
+    def test_block_interpolation(self):
+        block = np.tile(np.arange(9) * 20, (4, 1))
+        out = mc_half_pel_block(block)
+        assert out.shape == (4, 4)
+        assert (out == out[0]).all()  # identical rows stay identical
+        with pytest.raises(ValueError):
+            mc_half_pel_block(np.zeros((3, 9)))
+
+
+class TestDeblocking:
+    def test_smooths_small_step(self):
+        p, q = deblock_edge([100, 100, 100, 100], [120, 120, 120, 120])
+        # Boundary samples move towards each other.
+        assert p[3] > 100 and q[0] < 120
+        assert abs(int(p[3]) - int(q[0])) < 20
+
+    def test_real_edges_untouched(self):
+        p, q = deblock_edge([0, 0, 0, 0], [255, 255, 255, 255])
+        assert (p == 0).all() and (q == 255).all()
+
+    def test_flat_region_unchanged(self):
+        p, q = deblock_edge([90] * 4, [90] * 4)
+        assert (p == 90).all() and (q == 90).all()
+
+    @given(
+        arrays(np.int64, (4,), elements=pixels),
+        arrays(np.int64, (4,), elements=pixels),
+    )
+    @settings(max_examples=60)
+    def test_output_stays_in_pixel_range(self, p, q):
+        fp, fq = deblock_edge(p, q)
+        assert fp.min() >= 0 and fp.max() <= 255
+        assert fq.min() >= 0 and fq.max() <= 255
+
+    @given(
+        arrays(np.int64, (4,), elements=pixels),
+        arrays(np.int64, (4,), elements=pixels),
+    )
+    @settings(max_examples=60)
+    def test_boundary_step_change_is_bounded(self, p, q):
+        # The delta term is clamped to +-6, so the boundary step can move
+        # by at most 12 (both samples shift by delta); large steps (real
+        # edges) are rejected before filtering and never move at all.
+        fp, fq = deblock_edge(p, q)
+        before = abs(int(p[3]) - int(q[0]))
+        after = abs(int(fp[3]) - int(fq[0]))
+        assert after <= before + 12
+        if before >= 40:  # alpha threshold: a real edge stays untouched
+            assert after == before
+
+    def test_block_edge_filters_rowwise(self):
+        p = np.full((4, 4), 100)
+        q = np.full((4, 4), 118)
+        fp, fq = deblock_block_edge(p, q)
+        assert (fp[:, 3] > 100).all()
+        with pytest.raises(ValueError):
+            deblock_block_edge(np.zeros((2, 4)), q)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            deblock_edge([0] * 4, [0] * 4, alpha=0)
+
+    def test_clip_pixel(self):
+        assert clip_pixel(-5) == 0
+        assert clip_pixel(260) == 255
+        assert clip_pixel(128) == 128
+
+
+class TestExtendedLibrary:
+    def test_catalogue_adds_two_atoms(self):
+        cat = build_extended_catalogue()
+        assert "SixTap" in cat and "Clip" in cat
+        assert cat.get("SixTap").reconfigurable
+
+    def test_library_contains_generated_sis(self):
+        lib = build_extended_library()
+        assert {"MC_HPEL", "LF_EDGE"} <= set(lib.names())
+        for name in ("MC_HPEL", "LF_EDGE"):
+            si = lib.get(name)
+            assert len(si.implementations) >= 3
+            assert si.max_expected_speedup() > 20
+            # Auto-generated catalogue uses only the extension atoms.
+            for m in si.molecules():
+                assert set(m.kinds_used()) <= {"SixTap", "Clip"}
+
+    def test_table2_sis_unchanged(self):
+        lib = build_extended_library()
+        assert lib.get("SATD_4x4").software_cycles == 544
+        assert len(lib.get("SATD_4x4").implementations) == 15
+
+    def test_carve_out_is_latency_neutral(self):
+        # All extension SIs in software == the original Fig. 12 Opt. SW.
+        sw = {
+            "SATD_4x4": SOFTWARE_CYCLES["SATD_4x4"],
+            "DCT_4x4": SOFTWARE_CYCLES["DCT_4x4"],
+            "HT_4x4": SOFTWARE_CYCLES["HT_4x4"],
+            **EXTENSION_SOFTWARE_CYCLES,
+        }
+        assert extended_macroblock_cycles(sw) == 201_065
+
+    def test_overhead_accounting(self):
+        assert EXTENSION_SW_CYCLES_PER_MB == sum(
+            EXTENSION_SI_COUNTS[n] * EXTENSION_SOFTWARE_CYCLES[n]
+            for n in EXTENSION_SI_COUNTS
+        )
+        assert RESIDUAL_CORE_OVERHEAD + EXTENSION_SW_CYCLES_PER_MB == 53_695
+        assert RESIDUAL_CORE_OVERHEAD > 0
+
+    def test_accelerating_extensions_lifts_amdahl_ceiling(self):
+        lib = build_extended_library()
+        base = {
+            "SATD_4x4": 18,
+            "DCT_4x4": 15,
+            "HT_4x4": 17,
+            **EXTENSION_SOFTWARE_CYCLES,
+        }
+        ceiling = extended_macroblock_cycles(base)
+        accelerated = dict(base)
+        accelerated["MC_HPEL"] = lib.get("MC_HPEL").fastest_molecule().cycles
+        accelerated["LF_EDGE"] = lib.get("LF_EDGE").fastest_molecule().cycles
+        lifted = extended_macroblock_cycles(accelerated)
+        # The new hot spots unlock a large further gain.
+        assert lifted < ceiling - 20_000

@@ -1,0 +1,76 @@
+"""Tests for the closed-loop multi-frame sequence encoder."""
+
+import numpy as np
+import pytest
+
+from repro.apps.h264 import synthetic_frame
+from repro.apps.h264.sequence import encode_sequence
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return [synthetic_frame(64, 64, seed=3, shift=s) for s in range(3)]
+
+
+class TestEncodeSequence:
+    def test_per_frame_stats(self, sequence):
+        report = encode_sequence(sequence, qp=20)
+        assert len(report.frames) == 3
+        for stats in report.frames:
+            assert stats.macroblocks == 4
+            assert stats.bits > 0
+            assert stats.psnr_db > 30
+            assert stats.si_counts["SATD_4x4"] == 4 * 256
+
+    def test_inter_frames_cost_fewer_bits_than_intra(self, sequence):
+        # Frame 0 predicts from flat grey; later frames from the
+        # reconstructed neighbour: real prediction saves bits.
+        report = encode_sequence(sequence, qp=20)
+        first = report.frames[0].bits
+        for later in report.frames[1:]:
+            assert later.bits < first
+
+    def test_rate_distortion_tradeoff(self, sequence):
+        fine = encode_sequence(sequence, qp=12)
+        coarse = encode_sequence(sequence, qp=40)
+        assert fine.mean_psnr() > coarse.mean_psnr()
+        assert fine.total_bits() > coarse.total_bits()
+
+    def test_reconstructed_frames_returned(self, sequence):
+        report = encode_sequence(sequence, qp=20)
+        assert len(report.reconstructed) == 3
+        for recon, frame in zip(report.reconstructed, sequence):
+            assert recon.shape == frame.shape
+            assert recon.min() >= 0 and recon.max() <= 255
+
+    def test_static_scene_is_nearly_free_after_frame0(self):
+        frames = [synthetic_frame(64, 64, seed=7, shift=0)] * 3
+        report = encode_sequence(frames, qp=20)
+        # Identical frames: inter prediction is near-perfect.
+        assert report.frames[1].bits < report.frames[0].bits / 2
+        assert report.frames[1].psnr_db > 40
+
+    def test_intra_first_frame_improves_frame0(self, sequence):
+        flat = encode_sequence(sequence, qp=24)
+        intra = encode_sequence(sequence, qp=24, intra_first_frame=True)
+        # Real intra prediction beats the flat-grey proxy on per-MB rate
+        # at comparable (or better) quality.  (The intra frame covers the
+        # whole frame; the inter path only the margin-safe region.)
+        flat_rate = flat.frames[0].bits / flat.frames[0].macroblocks
+        intra_rate = intra.frames[0].bits / intra.frames[0].macroblocks
+        assert intra_rate < flat_rate
+        assert intra.frames[0].psnr_db > flat.frames[0].psnr_db - 1.0
+        assert intra.frames[0].intra_macroblocks == intra.frames[0].macroblocks
+        # Later frames still encode normally.
+        assert len(intra.frames) == len(sequence)
+        assert intra.frames[1].bits > 0
+
+    def test_validation(self, sequence):
+        with pytest.raises(ValueError):
+            encode_sequence([], qp=20)
+        with pytest.raises(ValueError):
+            encode_sequence(
+                [sequence[0], np.zeros((48, 64), dtype=np.int64)], qp=20
+            )
+        with pytest.raises(ValueError):
+            encode_sequence([np.zeros((16, 16), dtype=np.int64)], qp=20)

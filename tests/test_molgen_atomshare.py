@@ -1,0 +1,215 @@
+"""Tests for automatic molecule generation and reusable-atom discovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AtomSpace, layered_dataflow
+from repro.core.atomshare import (
+    H264_TRANSFORM_SEQUENCES,
+    AtomProposal,
+    common_subsequence,
+    longest_common_subsequence,
+    suggest_shared_atoms,
+)
+from repro.core.molgen import enumerate_molecules, generate_si, prune_dominated
+from repro.core.pareto import pareto_front_of
+from repro.core.si import MoleculeImpl
+
+SPACE = AtomSpace(["Load", "QuadSub", "Pack", "Transform", "SATD"])
+
+
+def satd_dataflow():
+    return layered_dataflow(
+        [
+            ("QuadSub", 4, 1),
+            ("Transform", 2, 1),
+            ("Pack", 4, 1),
+            ("Transform", 2, 1),
+            ("SATD", 4, 1),
+        ]
+    )
+
+
+class TestEnumerateMolecules:
+    def test_generates_pareto_catalogue(self):
+        impls, report = enumerate_molecules(satd_dataflow(), SPACE)
+        assert report.explored > report.kept
+        assert impls
+        # Smallest: one instance per kind; fastest reaches the critical path.
+        smallest = min(impls, key=lambda i: i.atoms())
+        assert smallest.molecule.counts.count(0) >= 1  # Load unused
+        assert all(c <= 1 for c in smallest.molecule.counts)
+        fastest = min(impls, key=lambda i: i.cycles)
+        assert fastest.cycles == satd_dataflow().critical_path_cycles()
+
+    def test_no_dominated_survivors(self):
+        impls, _ = enumerate_molecules(satd_dataflow(), SPACE)
+        for a in impls:
+            for b in impls:
+                if a is b:
+                    continue
+                dominates = (
+                    a.molecule <= b.molecule
+                    and a.cycles <= b.cycles
+                    and (a.molecule != b.molecule or a.cycles < b.cycles)
+                )
+                assert not dominates
+
+    def test_counts_allowed_restricts(self):
+        impls, _ = enumerate_molecules(
+            satd_dataflow(), SPACE, counts_allowed=(1, 2, 4)
+        )
+        for impl in impls:
+            for c in impl.molecule.counts:
+                assert c in (0, 1, 2, 4)
+
+    def test_max_per_kind(self):
+        impls, _ = enumerate_molecules(satd_dataflow(), SPACE, max_per_kind=2)
+        assert all(max(i.molecule.counts) <= 2 for i in impls)
+
+    def test_unconstrained_kinds_not_enumerated(self):
+        df = layered_dataflow([("Load", 4, 1), ("Pack", 4, 1)])
+        impls, _ = enumerate_molecules(
+            df, SPACE, unconstrained_kinds=("Load",)
+        )
+        assert all(i.molecule.count("Load") == 0 for i in impls)
+
+    def test_empty_kinds_rejected(self):
+        df = layered_dataflow([("Load", 2, 1)])
+        with pytest.raises(ValueError):
+            enumerate_molecules(df, SPACE, unconstrained_kinds=("Load",))
+
+    def test_counts_allowed_must_leave_options(self):
+        with pytest.raises(ValueError):
+            enumerate_molecules(satd_dataflow(), SPACE, counts_allowed=(9,))
+
+    def test_generate_si_end_to_end(self):
+        si, report = generate_si(
+            "AUTO_SATD", satd_dataflow(), SPACE, software_cycles=544
+        )
+        assert si.name == "AUTO_SATD"
+        assert len(si.implementations) == report.kept
+        # The generated catalogue yields a clean Pareto front like Table 2.
+        front = pareto_front_of(si)
+        assert len(front) >= 3
+        for a, b in zip(front, front[1:]):
+            assert b.atoms > a.atoms and b.cycles < a.cycles
+
+    def test_issue_overhead_applied(self):
+        base, _ = enumerate_molecules(satd_dataflow(), SPACE)
+        shifted, _ = enumerate_molecules(
+            satd_dataflow(), SPACE, issue_overhead=5
+        )
+        assert min(i.cycles for i in shifted) == min(i.cycles for i in base) + 5
+
+
+class TestPruneDominated:
+    def m(self, cycles, **counts):
+        return MoleculeImpl(SPACE.molecule(counts), cycles)
+
+    def test_keeps_incomparable(self):
+        a = self.m(10, Pack=2)
+        b = self.m(10, Transform=2)
+        assert set(prune_dominated([a, b])) == {a, b}
+
+    def test_drops_strictly_worse(self):
+        good = self.m(10, Pack=1)
+        bad = self.m(12, Pack=2)
+        assert prune_dominated([good, bad]) == [good]
+
+    def test_keeps_cheaper_but_slower(self):
+        small = self.m(20, Pack=1)
+        fast = self.m(10, Pack=4)
+        assert set(prune_dominated([small, fast])) == {small, fast}
+
+    def test_deduplicates(self):
+        a = self.m(10, Pack=1)
+        b = self.m(10, Pack=1)
+        assert len(prune_dominated([a, b])) == 1
+
+
+class TestLCS:
+    def test_known_lcs(self):
+        assert longest_common_subsequence("ABCBDAB", "BDCABA") in (
+            list("BCBA"),
+            list("BDAB"),
+            list("BCAB"),
+        )
+        assert len(longest_common_subsequence("ABCBDAB", "BDCABA")) == 4
+
+    def test_empty_inputs(self):
+        assert longest_common_subsequence("", "ABC") == []
+        assert longest_common_subsequence("ABC", "") == []
+
+    @given(st.text(alphabet="abcd", max_size=12), st.text(alphabet="abcd", max_size=12))
+    @settings(max_examples=60)
+    def test_lcs_is_common_subsequence(self, a, b):
+        lcs = longest_common_subsequence(a, b)
+
+        def is_subseq(s, t):
+            it = iter(t)
+            return all(c in it for c in s)
+
+        assert is_subseq(lcs, a)
+        assert is_subseq(lcs, b)
+
+    @given(st.text(alphabet="abc", max_size=12))
+    def test_lcs_with_self_is_identity(self, a):
+        assert longest_common_subsequence(a, a) == list(a)
+
+    def test_multi_sequence_fold(self):
+        seqs = [list("ABCD"), list("ABD"), list("AXBD")]
+        assert common_subsequence(seqs) == list("ABD")
+
+    def test_multi_sequence_empty_rejected(self):
+        with pytest.raises(ValueError):
+            common_subsequence([])
+
+
+class TestSuggestSharedAtoms:
+    def test_rediscovers_the_transform_atom(self):
+        # Fig. 9: the butterfly add/sub flow is identical in all three
+        # transforms -> one proposal serving all three SIs.
+        proposals = suggest_shared_atoms(H264_TRANSFORM_SEQUENCES)
+        assert proposals
+        best = proposals[0]
+        assert set(best.served_sis) == {"DCT_4x4", "HT_4x4", "HT_2x2"}
+        # The shared butterfly: at least the 4+4 add/sub operations.
+        assert len(best) >= 8
+        assert set(best.operations) <= {"add", "sub"}
+
+    def test_saving_metric(self):
+        proposals = suggest_shared_atoms(H264_TRANSFORM_SEQUENCES)
+        for p in proposals:
+            assert p.saving == (len(p.served_sis) - 1) * len(p)
+        savings = [p.saving for p in proposals]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_disjoint_sequences_no_proposals(self):
+        assert (
+            suggest_shared_atoms({"A": ("x", "x"), "B": ("y", "y")}) == []
+        )
+
+    def test_min_sis_threshold(self):
+        seqs = {"A": "abab", "B": "abab", "C": "zz"}
+        all_pairs = suggest_shared_atoms(seqs, min_sis=2)
+        assert all_pairs
+        triples = suggest_shared_atoms(seqs, min_sis=3)
+        assert triples == []
+
+    def test_subsumed_proposals_dropped(self):
+        seqs = {"A": "abcd", "B": "abcd", "C": "abcd"}
+        proposals = suggest_shared_atoms(seqs)
+        # One proposal serving all three subsumes every pair.
+        assert len(proposals) == 1
+        assert len(proposals[0].served_sis) == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            suggest_shared_atoms({}, min_length=0)
+        with pytest.raises(ValueError):
+            suggest_shared_atoms({}, min_sis=1)
+
+    def test_too_few_sequences(self):
+        assert suggest_shared_atoms({"A": "abc"}) == []

@@ -1,0 +1,85 @@
+"""Tests for the container-occupancy timeline renderer."""
+
+import pytest
+
+from repro.reporting import container_occupancy, render_container_timeline
+from repro.sim import EventKind, Trace
+
+
+def sample_trace() -> Trace:
+    t = Trace()
+    t.record(
+        0,
+        EventKind.ROTATION_REQUESTED,
+        detail_atom="Pack",
+        container=0,
+        starts=0,
+        finishes=100,
+    )
+    t.record(
+        0,
+        EventKind.ROTATION_REQUESTED,
+        detail_atom="SATD",
+        container=1,
+        starts=100,
+        finishes=200,
+    )
+    # Container 0 later re-rotated to Transform.
+    t.record(
+        300,
+        EventKind.ROTATION_REQUESTED,
+        detail_atom="Transform",
+        container=0,
+        starts=300,
+        finishes=400,
+    )
+    t.record(500, EventKind.SI_EXECUTED, si="X", mode="HW", cycles=5)
+    return t
+
+
+class TestOccupancy:
+    def test_intervals_reconstructed(self):
+        spans = container_occupancy(sample_trace(), 2)
+        # AC0: Pack loading 0..100, loaded 100..300, Transform 300..400
+        # loading, loaded 400..horizon.
+        assert spans[0][0] == (0, 100, "Pack", True)
+        assert spans[0][1] == (100, 300, "Pack", False)
+        assert spans[0][2][2] == "Transform"
+        assert spans[0][3][3] is False
+        # AC1: SATD.
+        assert spans[1][0][2] == "SATD"
+
+    def test_containers_validated(self):
+        with pytest.raises(ValueError):
+            container_occupancy(Trace(), 0)
+
+    def test_unknown_containers_ignored(self):
+        spans = container_occupancy(sample_trace(), 1)
+        assert 1 not in spans
+
+
+class TestRenderTimeline:
+    def test_rows_and_legend(self):
+        text = render_container_timeline(sample_trace(), 2, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("AC0 |")
+        assert lines[1].startswith("AC1 |")
+        assert "cycles/column" in lines[-1]
+        # Upper-case letters for loaded atoms, lower for rotations.
+        assert "P" in lines[0] and "p" in lines[0]
+        assert "T" in lines[0]
+        assert "S" in lines[1]
+
+    def test_markers_rendered(self):
+        text = render_container_timeline(
+            sample_trace(), 2, width=40, markers={"T1": 250}
+        )
+        assert "^" in text
+        assert "T1@250" in text
+
+    def test_empty_trace(self):
+        assert "empty" in render_container_timeline(Trace(), 2)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            render_container_timeline(sample_trace(), 2, width=2)
