@@ -79,6 +79,15 @@ def main() -> None:
                     f"{lib.get(n).fastest_molecule().cycles} cyc HW)"
                     for n in lib.names()))
 
+    # Statically verify the whole compile-time bundle with rispp-lint
+    # (the same checks `compile_and_run` enforces before executing).
+    from repro.analysis import lint_flow
+
+    lint = lint_flow(report.cfg, lib, report.annotation, subject="aes-example")
+    lint.raise_on_error()
+    print("\nrispp-lint:", "clean" if lint.clean()
+          else f"{len(lint.warnings())} warning(s), no errors")
+
     print("\nDOT graph (render with `dot -Tpng`):\n")
     print(report.dot)
 

@@ -55,7 +55,13 @@ def main() -> None:
         description="a made-up block-matching cost function",
     )
     library = SILibrary(catalogue, [cost])
-    print("\nRep(COST)  :", cost.rep())
+
+    # Statically check the library with rispp-lint before using it.
+    from repro.analysis import lint_library
+
+    lint_library(library, containers=6).raise_on_error()
+    print("\nrispp-lint : library invariants hold")
+    print("Rep(COST)  :", cost.rep())
     print("speed-up   :", f"{cost.max_expected_speedup():.0f}x over software")
 
     # 4. Molecule selection: best implementations within a budget.

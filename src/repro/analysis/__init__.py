@@ -1,0 +1,78 @@
+"""``repro.analysis`` — rispp-lint, the static invariant checker.
+
+A diagnostic framework plus domain checkers that statically analyse
+already-constructed RISPP artifacts *without executing a simulation*:
+
+* **lattice** — the §3.1 Molecule lattice laws and the §3.2 ``Rep(S)``
+  bounds over a library's molecules;
+* **library** — SI/catalogue coherence (software fallback, shared atom
+  space, Pareto-dominated molecules, Atom Container capacity);
+* **cfg** — profile well-formedness of the BB graph feeding the §4
+  forecast pipeline (probability sums, reachability, SCC partition,
+  flow conservation);
+* **forecast** — placement soundness of Forecast points (§4.2) against
+  their CFG, library and FDFs;
+* **schedule** — feasibility of dataflow schedules (§3) and rotation
+  job sequences on the single reconfiguration port (§5).
+
+Entry points: :func:`run_checks` (registry driver over mixed artifacts),
+the per-family ``lint_*`` helpers, and ``python -m repro lint``.
+The rule catalogue is documented in ``docs/analysis.md``.
+"""
+
+from .diagnostics import Diagnostic, DiagnosticReport, LintError, Severity
+from .lint import (
+    BUILTIN_SUBJECTS,
+    lint_builtin,
+    lint_cfg,
+    lint_flow,
+    lint_forecast,
+    lint_library,
+    lint_rotations,
+    lint_schedule,
+)
+from .registry import (
+    RULES,
+    Checker,
+    ForecastArtifact,
+    LintContext,
+    RotationLog,
+    Rule,
+    ScheduleArtifact,
+    checker,
+    checkers,
+    checkers_for,
+    diag,
+    rule,
+    rules_of_family,
+    run_checks,
+)
+
+__all__ = [
+    "BUILTIN_SUBJECTS",
+    "Checker",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ForecastArtifact",
+    "LintContext",
+    "LintError",
+    "RULES",
+    "RotationLog",
+    "Rule",
+    "ScheduleArtifact",
+    "Severity",
+    "checker",
+    "checkers",
+    "checkers_for",
+    "diag",
+    "lint_builtin",
+    "lint_cfg",
+    "lint_flow",
+    "lint_forecast",
+    "lint_library",
+    "lint_rotations",
+    "lint_schedule",
+    "rule",
+    "rules_of_family",
+    "run_checks",
+]

@@ -1,0 +1,339 @@
+"""Rule catalogue and checker registry of rispp-lint.
+
+Every invariant the checker enforces is declared once, here, as a
+:class:`Rule` with a stable ID, a default severity and the paper section
+it formalises.  Checker functions (one per artifact aspect) register via
+the :func:`checker` decorator and are dispatched by artifact type through
+:func:`run_checks` — the single driver the CLI, the integration layer and
+the tests share.
+
+Artifact types understood by the driver:
+
+* :class:`~repro.core.library.SILibrary` — lattice + library checks;
+* :class:`~repro.cfg.graph.ControlFlowGraph` — CFG profile checks;
+* :class:`ForecastArtifact` — forecast placements against their CFG;
+* :class:`ScheduleArtifact` — a dataflow schedule against its molecule;
+* :class:`RotationLog` — reconfiguration-port job sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+
+if TYPE_CHECKING:  # imported lazily to keep the module import-light
+    from ..cfg.graph import ControlFlowGraph
+    from ..core.atom import AtomCatalogue
+    from ..core.library import SILibrary
+    from ..core.molecule import Molecule
+    from ..core.schedule import Dataflow, Schedule
+    from ..forecast.fdf import ForecastDecisionFunction
+    from ..forecast.placement import ForecastPoint
+    from ..hardware.reconfig import ReconfigurationPort, RotationJob
+
+
+# ---------------------------------------------------------------------------
+# The rule catalogue
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One declared invariant."""
+
+    rule_id: str
+    family: str
+    severity: Severity
+    title: str
+    paper_ref: str = ""
+
+
+RULES: dict[str, Rule] = {}
+
+
+def _rule(rule_id: str, family: str, severity: Severity, title: str, paper_ref: str) -> None:
+    if rule_id in RULES:  # pragma: no cover - catalogue authoring error
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    RULES[rule_id] = Rule(rule_id, family, severity, title, paper_ref)
+
+
+# -- lattice family (§3.1 / §3.2): the Molecule vector algebra --------------
+_rule("LAT001", "lattice", Severity.ERROR,
+      "union/intersection absorption law violated", "§3.1")
+_rule("LAT002", "lattice", Severity.ERROR,
+      "residual operator violates its bounding laws", "§3.1")
+_rule("LAT003", "lattice", Severity.ERROR,
+      "Rep(S) outside its lattice bounds [inf(S), sup(S)]", "§3.2")
+_rule("LAT004", "lattice", Severity.ERROR,
+      "molecule lives outside its SI's atom space", "§3.1")
+
+# -- library family: SI/catalogue coherence ---------------------------------
+_rule("LIB001", "library", Severity.ERROR,
+      "SI has no usable software molecule", "§3.2")
+_rule("LIB002", "library", Severity.ERROR,
+      "SI built over a different atom space than its library", "§3.1")
+_rule("LIB003", "library", Severity.WARNING,
+      "hardware molecule is Pareto-dominated", "Fig. 13")
+_rule("LIB004", "library", Severity.ERROR,
+      "SI cannot fit the configured Atom Containers", "§3/§5")
+_rule("LIB005", "library", Severity.WARNING,
+      "hardware molecule exceeds the configured Atom Containers", "§3/§5")
+_rule("LIB006", "library", Severity.WARNING,
+      "hardware molecule not faster than the software molecule", "§4.1")
+_rule("LIB007", "library", Severity.ERROR,
+      "SI offers no hardware molecule", "§3.2")
+_rule("LIB008", "library", Severity.WARNING,
+      "atom kind unused by every SI of the library", "Fig. 2")
+
+# -- cfg family (§4): profile well-formedness -------------------------------
+_rule("CFG001", "cfg", Severity.ERROR,
+      "entry block missing or unknown", "§4")
+_rule("CFG002", "cfg", Severity.ERROR,
+      "out-edge probabilities do not sum to 1", "§4.1")
+_rule("CFG003", "cfg", Severity.ERROR,
+      "edge probability outside [0, 1]", "§4.1")
+_rule("CFG004", "cfg", Severity.WARNING,
+      "block unreachable from the entry", "§4")
+_rule("CFG005", "cfg", Severity.ERROR,
+      "SCC segmentation is not a partition of the blocks", "§4.1")
+_rule("CFG006", "cfg", Severity.ERROR,
+      "negative profile count", "§4.1")
+_rule("CFG007", "cfg", Severity.WARNING,
+      "profiled edge counts violate flow conservation", "§4.1")
+
+# -- forecast family (§4.1/§4.2): FC placements -----------------------------
+_rule("FC001", "forecast", Severity.ERROR,
+      "forecast point targets an unknown block", "§4.2")
+_rule("FC002", "forecast", Severity.ERROR,
+      "forecast names an SI absent from the library", "§4.2")
+_rule("FC003", "forecast", Severity.ERROR,
+      "no use of the SI is reachable from the forecast block", "§4.2")
+_rule("FC004", "forecast", Severity.ERROR,
+      "forecast initial values out of range", "§4.2")
+_rule("FC005", "forecast", Severity.ERROR,
+      "expected executions below the FDF break-even offset", "§4.1")
+_rule("FC006", "forecast", Severity.WARNING,
+      "forecast block does not dominate any use of its SI", "§4.2")
+_rule("FC007", "forecast", Severity.ERROR,
+      "duplicate forecast for the same (block, SI) pair", "§4.2")
+
+# -- schedule family (§3 / §5): dataflow schedules and rotations ------------
+_rule("SCH001", "schedule", Severity.ERROR,
+      "two operations overlap on one atom instance", "§3")
+_rule("SCH002", "schedule", Severity.ERROR,
+      "operation placed on an atom instance the molecule does not offer", "§3")
+_rule("SCH003", "schedule", Severity.ERROR,
+      "operation timing violates the dataflow (dependency or latency)", "§3")
+_rule("SCH004", "schedule", Severity.ERROR,
+      "makespan below the latest operation finish", "§3")
+_rule("SCH005", "schedule", Severity.ERROR,
+      "scheduled operations do not match the dataflow", "§3")
+_rule("ROT001", "schedule", Severity.ERROR,
+      "rotations overlap on the single reconfiguration port", "§5")
+_rule("ROT002", "schedule", Severity.ERROR,
+      "overlapping reservations of one Atom Container", "§5")
+_rule("ROT003", "schedule", Severity.ERROR,
+      "rotation job timing inconsistent", "§5")
+_rule("ROT004", "schedule", Severity.ERROR,
+      "rotation of a static atom kind", "§3")
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule; raises ``KeyError`` for unknown IDs."""
+    return RULES[rule_id]
+
+
+def rules_of_family(family: str) -> list[Rule]:
+    return [r for r in RULES.values() if r.family == family]
+
+
+def diag(
+    rule_id: str,
+    message: str,
+    *,
+    subject: str = "",
+    location: str = "",
+    severity: Severity | None = None,
+    **context: object,
+) -> Diagnostic:
+    """Build a diagnostic for a catalogued rule (default severity from it)."""
+    r = RULES[rule_id]
+    return Diagnostic(
+        rule_id=rule_id,
+        severity=severity if severity is not None else r.severity,
+        message=message,
+        subject=subject,
+        location=location,
+        context=context,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Artifact wrappers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ForecastArtifact:
+    """Forecast placements to be checked against their CFG.
+
+    ``points`` accepts a raw placement list or anything exposing
+    ``all_points()`` (a :class:`~repro.forecast.annotate.ForecastAnnotation`).
+    ``fdfs`` and ``library`` unlock the offset and SI-membership rules.
+    """
+
+    cfg: "ControlFlowGraph"
+    points: Sequence["ForecastPoint"]
+    fdfs: "dict[str, ForecastDecisionFunction] | None" = None
+    library: "SILibrary | None" = None
+    subject: str = ""
+
+    def __post_init__(self) -> None:
+        if hasattr(self.points, "all_points"):
+            self.points = self.points.all_points()  # type: ignore[union-attr]
+        self.points = list(self.points)
+
+
+@dataclass
+class ScheduleArtifact:
+    """A list-scheduler result bound to the dataflow and molecule it priced."""
+
+    dataflow: "Dataflow"
+    molecule: "Molecule"
+    schedule: "Schedule"
+    unconstrained_kinds: tuple[str, ...] = ()
+    issue_overhead: int = 0
+    subject: str = ""
+
+
+@dataclass
+class RotationLog:
+    """A sequence of reconfiguration-port jobs (one port, serialised)."""
+
+    jobs: Sequence["RotationJob"]
+    catalogue: "AtomCatalogue | None" = None
+    #: Expected rotation latency per atom kind (cycles); derived from the
+    #: port when built via :meth:`from_port`, else optional.
+    rotation_cycles: dict[str, int] | None = None
+    subject: str = ""
+
+    @classmethod
+    def from_port(cls, port: "ReconfigurationPort", *, subject: str = "") -> "RotationLog":
+        cycles: dict[str, int] = {}
+        for job in port.jobs:
+            if job.atom not in cycles:
+                try:
+                    cycles[job.atom] = port.rotation_cycles(job.atom)
+                except ValueError:
+                    pass  # the checker reports static/brandless atoms itself
+        return cls(
+            jobs=list(port.jobs),
+            catalogue=port.catalogue,
+            rotation_cycles=cycles,
+            subject=subject,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checker registry and driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Cross-checker configuration shared by one :func:`run_checks` run."""
+
+    #: Atom Containers of the target platform; ``None`` skips capacity rules.
+    containers: int | None = None
+    #: Numeric tolerance for probability sums and float comparisons.
+    tolerance: float = 1e-6
+    #: Fallback subject label for artifacts that don't carry their own.
+    subject: str = ""
+
+
+CheckFn = Callable[[object, LintContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered check: name, rule family, artifact dispatch, function."""
+
+    name: str
+    family: str
+    applies_to: tuple[type, ...]
+    fn: CheckFn
+
+    def run(self, artifact: object, context: LintContext) -> list[Diagnostic]:
+        return list(self.fn(artifact, context))
+
+
+_CHECKERS: dict[str, Checker] = {}
+
+
+def checker(
+    name: str, family: str, applies_to: type | tuple[type, ...]
+) -> Callable[[CheckFn], CheckFn]:
+    """Register a checker function under ``name`` for the given artifact types."""
+    types = applies_to if isinstance(applies_to, tuple) else (applies_to,)
+
+    def register(fn: CheckFn) -> CheckFn:
+        if name in _CHECKERS:
+            raise ValueError(f"duplicate checker {name!r}")
+        _CHECKERS[name] = Checker(name=name, family=family, applies_to=types, fn=fn)
+        return fn
+
+    return register
+
+
+def checkers(family: str | None = None) -> list[Checker]:
+    """All registered checkers, optionally restricted to one rule family."""
+    _ensure_loaded()
+    found = list(_CHECKERS.values())
+    if family is not None:
+        found = [c for c in found if c.family == family]
+    return found
+
+
+def checkers_for(artifact: object) -> list[Checker]:
+    """The checkers whose dispatch types match ``artifact``."""
+    _ensure_loaded()
+    return [c for c in _CHECKERS.values() if isinstance(artifact, c.applies_to)]
+
+
+def _ensure_loaded() -> None:
+    """Import the checker modules exactly once (registration side effects)."""
+    from . import cfgcheck, forecastcheck, lattice, library, schedcheck  # noqa: F401
+
+
+def _iter_artifacts(artifacts: object) -> Iterator[object]:
+    if isinstance(artifacts, (list, tuple)):
+        for artifact in artifacts:
+            yield artifact
+    else:
+        yield artifacts
+
+
+def run_checks(
+    artifacts: object,
+    *,
+    context: LintContext | None = None,
+    families: Iterable[str] | None = None,
+) -> DiagnosticReport:
+    """Run every applicable registered checker over the given artifact(s).
+
+    ``artifacts`` is one artifact or a list/tuple of them; unknown artifact
+    types are ignored (callers may mix domain objects freely).  ``families``
+    restricts the run to the named rule families.
+    """
+    ctx = context if context is not None else LintContext()
+    wanted = set(families) if families is not None else None
+    report = DiagnosticReport()
+    for artifact in _iter_artifacts(artifacts):
+        for chk in checkers_for(artifact):
+            if wanted is not None and chk.family not in wanted:
+                continue
+            report.extend(chk.run(artifact, ctx))
+    return report

@@ -1,0 +1,220 @@
+"""Schedule feasibility checks (rules SCH001..SCH005, ROT001..ROT004).
+
+Two kinds of "schedule" exist in the model and both get checked:
+
+**Dataflow schedules** (:class:`ScheduleArtifact`) — a list-scheduler
+result placing an SI's atomic operations onto a molecule's atom
+instances (§3, the spatial/temporal trade-off).  Feasibility means: no
+two operations overlap on one instance (SCH001), no operation uses an
+instance the molecule does not offer (SCH002), dependencies are honoured
+(SCH003), the makespan covers the last finish plus the issue overhead
+(SCH004), and the placements cover the dataflow exactly (SCH005).
+
+**Rotation logs** (:class:`RotationLog`) — the reconfiguration-port job
+sequence of a run (§5).  The prototype has a *single* SelectMap port, so
+jobs must be strictly serialised (ROT001: the per-step reconfiguration
+bandwidth is one bitstream write); a container must never be reserved by
+two overlapping jobs (ROT002: no double-assignment); job timing must be
+internally consistent and match the atom's bitstream rotation latency
+(ROT003); static atoms never rotate (ROT004).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .diagnostics import Diagnostic
+from .registry import LintContext, RotationLog, ScheduleArtifact, checker, diag
+
+
+@checker("dataflow-schedule", "schedule", ScheduleArtifact)
+def check_schedule(artifact: ScheduleArtifact, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = artifact.subject or ctx.subject or "schedule"
+    dataflow, molecule, schedule = artifact.dataflow, artifact.molecule, artifact.schedule
+    unconstrained = set(artifact.unconstrained_kinds)
+    ops = dataflow.ops
+
+    finish_by_op: dict[str, int] = {}
+    seen_ops: set[str] = set()
+    for placed in schedule.placements:
+        loc = f"op {placed.op_id}"
+        if placed.op_id not in ops:
+            yield diag(
+                "SCH005",
+                f"schedule places operation {placed.op_id!r} that the "
+                "dataflow does not contain",
+                subject=subject, location=loc, op=placed.op_id,
+            )
+            continue
+        if placed.op_id in seen_ops:
+            yield diag(
+                "SCH005",
+                f"operation {placed.op_id!r} is placed twice",
+                subject=subject, location=loc, op=placed.op_id,
+            )
+        seen_ops.add(placed.op_id)
+        op = ops[placed.op_id]
+        if placed.kind != op.kind:
+            yield diag(
+                "SCH005",
+                f"operation {placed.op_id!r} runs on atom kind "
+                f"{placed.kind!r} but the dataflow declares {op.kind!r}",
+                subject=subject, location=loc, op=placed.op_id,
+                scheduled_kind=placed.kind, dataflow_kind=op.kind,
+            )
+        if placed.finish - placed.start != op.latency or placed.start < 0:
+            yield diag(
+                "SCH003",
+                f"operation {placed.op_id!r} occupies "
+                f"[{placed.start}, {placed.finish}) but its latency is "
+                f"{op.latency}",
+                subject=subject, location=loc, op=placed.op_id,
+                start=placed.start, finish=placed.finish, latency=op.latency,
+            )
+        if placed.kind not in unconstrained:
+            capacity = (
+                molecule.count(placed.kind) if placed.kind in molecule.space else 0
+            )
+            if placed.instance < 0 or placed.instance >= capacity:
+                yield diag(
+                    "SCH002",
+                    f"operation {placed.op_id!r} is placed on "
+                    f"{placed.kind!r} instance {placed.instance} but the "
+                    f"molecule offers {capacity} instance(s)",
+                    subject=subject, location=loc, op=placed.op_id,
+                    kind=placed.kind, instance=placed.instance,
+                    capacity=capacity,
+                )
+        finish_by_op[placed.op_id] = placed.finish
+
+    for op_id in ops:
+        if op_id not in seen_ops:
+            yield diag(
+                "SCH005",
+                f"dataflow operation {op_id!r} was never scheduled",
+                subject=subject, location=f"op {op_id}", op=op_id,
+            )
+
+    for placed in schedule.placements:
+        op = ops.get(placed.op_id)
+        if op is None:
+            continue
+        for dep in op.deps:
+            dep_finish = finish_by_op.get(dep)
+            if dep_finish is not None and placed.start < dep_finish:
+                yield diag(
+                    "SCH003",
+                    f"operation {placed.op_id!r} starts at {placed.start} "
+                    f"before its dependency {dep!r} finishes at {dep_finish}",
+                    subject=subject, location=f"op {placed.op_id}",
+                    op=placed.op_id, dep=dep, start=placed.start,
+                    dep_finish=dep_finish,
+                )
+
+    lanes: dict[tuple[str, int], list] = {}
+    for placed in schedule.placements:
+        lanes.setdefault((placed.kind, placed.instance), []).append(placed)
+    for (kind, instance), placed_ops in sorted(lanes.items()):
+        placed_ops.sort(key=lambda p: (p.start, p.finish))
+        for earlier, later in zip(placed_ops, placed_ops[1:]):
+            if later.start < earlier.finish:
+                yield diag(
+                    "SCH001",
+                    f"operations {earlier.op_id!r} and {later.op_id!r} "
+                    f"overlap on {kind!r} instance {instance} "
+                    f"([{earlier.start},{earlier.finish}) vs "
+                    f"[{later.start},{later.finish}))",
+                    subject=subject, location=f"{kind}[{instance}]",
+                    kind=kind, instance=instance,
+                    ops=[earlier.op_id, later.op_id],
+                )
+
+    last_finish = max((p.finish for p in schedule.placements), default=0)
+    required = last_finish + artifact.issue_overhead
+    if schedule.makespan < required:
+        yield diag(
+            "SCH004",
+            f"makespan {schedule.makespan} is below the latest operation "
+            f"finish {last_finish} plus issue overhead "
+            f"{artifact.issue_overhead}",
+            subject=subject, location="makespan",
+            makespan=schedule.makespan, last_finish=last_finish,
+            issue_overhead=artifact.issue_overhead,
+        )
+
+
+@checker("rotation-log", "schedule", RotationLog)
+def check_rotations(log: RotationLog, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = log.subject or ctx.subject or f"rotations:{len(log.jobs)}-jobs"
+
+    for i, job in enumerate(log.jobs):
+        loc = f"job {i} ({job.atom}->AC{job.container_id})"
+        if log.catalogue is not None and job.atom in log.catalogue:
+            if not log.catalogue.get(job.atom).reconfigurable:
+                yield diag(
+                    "ROT004",
+                    f"job {i} rotates static atom kind {job.atom!r}; static "
+                    "atoms live in the fabric and never rotate",
+                    subject=subject, location=loc, job=i, atom=job.atom,
+                )
+                continue
+        if job.started_at < job.requested_at:
+            yield diag(
+                "ROT003",
+                f"job {i} starts at {job.started_at}, before its request at "
+                f"{job.requested_at}",
+                subject=subject, location=loc, job=i,
+                started_at=job.started_at, requested_at=job.requested_at,
+            )
+        if job.finish_at <= job.started_at:
+            yield diag(
+                "ROT003",
+                f"job {i} finishes at {job.finish_at}, not after its start "
+                f"at {job.started_at}",
+                subject=subject, location=loc, job=i,
+                started_at=job.started_at, finish_at=job.finish_at,
+            )
+        elif log.rotation_cycles and job.atom in log.rotation_cycles:
+            expected = log.rotation_cycles[job.atom]
+            if job.duration != expected:
+                yield diag(
+                    "ROT003",
+                    f"job {i} rotates {job.atom!r} in {job.duration} cycles "
+                    f"but the bitstream needs {expected}",
+                    subject=subject, location=loc, job=i,
+                    duration=job.duration, expected=expected,
+                )
+
+    # ROT001: the single port serialises rotations strictly.
+    by_start = sorted(
+        ((j.started_at, j.finish_at, i) for i, j in enumerate(log.jobs)),
+    )
+    for (s1, f1, i1), (s2, f2, i2) in zip(by_start, by_start[1:]):
+        if s2 < f1:
+            yield diag(
+                "ROT001",
+                f"jobs {i1} and {i2} overlap on the single reconfiguration "
+                f"port ([{s1},{f1}) vs [{s2},{f2}))",
+                subject=subject, location=f"jobs {i1},{i2}",
+                jobs=[i1, i2],
+            )
+
+    # ROT002: a container's reservation spans request..finish; two jobs on
+    # one container must not overlap in that span.
+    by_container: dict[int, list[tuple[int, int, int]]] = {}
+    for i, job in enumerate(log.jobs):
+        by_container.setdefault(job.container_id, []).append(
+            (job.requested_at, job.finish_at, i)
+        )
+    for container_id, spans in sorted(by_container.items()):
+        spans.sort()
+        for (r1, f1, i1), (r2, f2, i2) in zip(spans, spans[1:]):
+            if r2 < f1:
+                yield diag(
+                    "ROT002",
+                    f"jobs {i1} and {i2} both reserve container "
+                    f"{container_id} with overlapping spans "
+                    f"([{r1},{f1}) vs [{r2},{f2}))",
+                    subject=subject, location=f"AC{container_id}",
+                    container=container_id, jobs=[i1, i2],
+                )

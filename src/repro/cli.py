@@ -1,7 +1,9 @@
 """Command-line interface: regenerate the paper's tables and figures.
 
 ``python -m repro list`` shows the available experiments;
-``python -m repro fig12`` (etc.) prints the regenerated artifact.
+``python -m repro fig12`` (etc.) prints the regenerated artifact;
+``python -m repro lint`` statically checks the shipped artifacts with
+rispp-lint (see :mod:`repro.analysis`).
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 *asserts* the reproduction criteria; this CLI is the quick look.
 """
@@ -9,6 +11,7 @@ The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 
 
@@ -123,7 +126,7 @@ def _fig12() -> str:
 
 def _fig13() -> str:
     from .apps.h264 import build_h264_library
-    from .core import pareto_front_of, tradeoff_points
+    from .core import pareto_front_of
     from .reporting import render_series
 
     library = build_h264_library()
@@ -180,30 +183,78 @@ EXPERIMENTS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def _lint(argv: list[str]) -> int:
+    from .analysis import BUILTIN_SUBJECTS, lint_builtin
+
     parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate tables/figures of the RISPP paper (DAC 2007).",
+        prog="repro lint",
+        description="Statically check the shipped RISPP artifacts (rispp-lint).",
     )
     parser.add_argument(
-        "experiment",
-        choices=[*EXPERIMENTS, "list", "all"],
-        help="which artifact to regenerate ('list' to enumerate)",
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--containers", type=int, default=None, metavar="N",
+        help="also run Atom Container capacity rules against N containers",
+    )
+    parser.add_argument(
+        "--subject", action="append", choices=BUILTIN_SUBJECTS, default=None,
+        help="restrict to one case study (repeatable; default: all)",
     )
     args = parser.parse_args(argv)
-    if args.experiment == "list":
+    if args.containers is not None and args.containers < 0:
+        parser.error(f"--containers must be non-negative, got {args.containers}")
+    report = lint_builtin(
+        args.subject or BUILTIN_SUBJECTS, containers=args.containers
+    )
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return report.exit_code()
+
+
+def _usage() -> str:
+    names = " | ".join(EXPERIMENTS)
+    return (
+        "usage: repro {list | all | lint | <experiment>}\n"
+        f"experiments: {names}\n"
+        "run 'repro list' for descriptions, 'repro lint --help' for lint flags"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(_usage())
+        return 0
+    command, rest = args[0], args[1:]
+    if command == "lint":
+        return _lint(rest)
+    if rest:
+        print(f"repro {command}: unexpected arguments {rest}", file=sys.stderr)
+        return 2
+    if command == "list":
         for name, (_fn, desc) in EXPERIMENTS.items():
             print(f"{name:8s} {desc}")
         return 0
-    if args.experiment == "all":
+    if command == "all":
         for name, (fn, _desc) in EXPERIMENTS.items():
             print(f"==== {name} " + "=" * (60 - len(name)))
             print(fn())
             print()
         return 0
-    fn, _desc = EXPERIMENTS[args.experiment]
-    print(fn())
-    return 0
+    if command in EXPERIMENTS:
+        fn, _desc = EXPERIMENTS[command]
+        print(fn())
+        return 0
+    hint = ""
+    close = difflib.get_close_matches(command, [*EXPERIMENTS, "list", "all", "lint"], n=1)
+    if close:
+        hint = f" (did you mean {close[0]!r}?)"
+    print(
+        f"repro: unknown experiment {command!r}{hint}\n{_usage()}",
+        file=sys.stderr,
+    )
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

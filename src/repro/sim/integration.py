@@ -12,9 +12,14 @@ offers; plain block cycles advance the clock.
 
 :func:`compile_and_run` is the one-call version: profile the program,
 insert the FCs, then execute with rotation — the complete RISPP flow.
+Before executing, it runs rispp-lint (:mod:`repro.analysis`) over the
+compile-time bundle: ERROR diagnostics abort the run (:class:`LintError`),
+WARNINGs surface as Python warnings.  Pass ``lint=False`` to skip.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from dataclasses import dataclass, field
 
@@ -27,7 +32,15 @@ from .executor import profile_program
 from .ir import Branch, Exit, Jump, Program
 
 if TYPE_CHECKING:  # runtime.manager imports sim.trace; avoid the cycle
+    from ..analysis import DiagnosticReport
     from ..runtime.manager import RisppRuntime
+
+
+def _enforce(report: "DiagnosticReport") -> None:
+    """Fail fast on lint ERRORs; surface WARNINGs without stopping."""
+    report.raise_on_error()
+    for finding in report.warnings():
+        warnings.warn(finding.render(), stacklevel=3)
 
 
 @dataclass
@@ -57,6 +70,7 @@ def run_annotated_program(
     task: str = "main",
     start_cycle: int = 0,
     max_blocks: int = 1_000_000,
+    lint: bool = True,
 ) -> AnnotatedRunResult:
     """Execute ``program`` on the RISPP runtime, honouring the FC blocks.
 
@@ -66,6 +80,14 @@ def run_annotated_program(
     """
     program.validate()
     annotation.validate_against(program.to_cfg())
+    if lint:
+        from ..analysis import lint_forecast
+
+        _enforce(
+            lint_forecast(
+                program.to_cfg(), annotation, subject=f"run:{task}"
+            )
+        )
     env = env if env is not None else {}
     now = start_cycle
     core_cycles = 0
@@ -138,12 +160,14 @@ def compile_and_run(
     run_env: dict | None = None,
     distance: str = "expected",
     core_mhz: float = 100.0,
+    lint: bool = True,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
     1. Profile the program (§1's step i);
     2. Insert Forecast points (§4: candidates, trimming, placement);
-    3. Execute with the run-time manager rotating Atoms (§5).
+    3. Lint the compile-time bundle (fail fast on ERROR diagnostics);
+    4. Execute with the run-time manager rotating Atoms (§5).
     """
     from ..runtime.manager import RisppRuntime
 
@@ -153,9 +177,15 @@ def compile_and_run(
     annotation = run_forecast_pipeline(
         cfg, library, fdfs, containers, distance=distance
     )
+    if lint:
+        from ..analysis import lint_flow
+
+        # containers stays un-checked here on purpose: running a library
+        # on fewer (even zero) containers is a valid pure-SW baseline.
+        _enforce(lint_flow(cfg, library, annotation, fdfs=fdfs, subject="flow"))
     runtime = RisppRuntime(library, containers, core_mhz=core_mhz)
     result = run_annotated_program(
-        program, annotation, runtime, dict(run_env or {})
+        program, annotation, runtime, dict(run_env or {}), lint=False
     )
     return CompileAndRunResult(
         cfg=cfg, annotation=annotation, runtime=runtime, result=result

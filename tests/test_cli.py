@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -41,6 +43,42 @@ class TestCLI:
         ]
         assert len(data_rows) == 30
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["fig99"])
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "fig99" in err
+        assert "fig6" in err  # the close-match hint
+
+    def test_experiment_rejects_extra_arguments(self, capsys):
+        assert main(["fig1", "--bogus"]) == 2
+        assert "unexpected arguments" in capsys.readouterr().err
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", [*EXPERIMENTS, "list"])
+    def test_every_subcommand_smokes(self, name, capsys):
+        assert main([name]) == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestLintCommand:
+    def test_lint_text_exits_zero_on_shipped_artifacts(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "rispp-lint:" in out
+
+    def test_lint_json_round_trips(self, capsys):
+        assert main(["lint", "--format", "json", "--subject", "h264"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        assert payload["summary"]["exit_code"] == 0
+        assert {f["rule_id"] for f in payload["findings"]} == set(
+            payload["summary"]["rule_ids"]
+        )
+
+    def test_lint_subject_filter(self, capsys):
+        assert main(["lint", "--subject", "aes"]) == 0
+        out = capsys.readouterr().out
+        assert "h264" not in out

@@ -103,7 +103,7 @@ class TestIntraFrame:
         # The Fig. 7 "Intra MB injection" exists because real intra
         # prediction beats assuming nothing: compare against flat 128.
         frame = synthetic_frame(32, 32, seed=6)
-        from repro.apps.h264.quant import quantize_4x4, reconstruct_4x4
+        from repro.apps.h264.quant import quantize_4x4
         from repro.apps.h264.transforms import dct_4x4
         from repro.apps.h264.entropy import block_bits
 

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.apps.h264 import (
-    CORE_OVERHEAD_CYCLES,
     AtomExecutionCounter,
     EncoderPipeline,
     REFERENCE_CONFIGS,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.core import AtomSpace, layered_dataflow
 from repro.core.atomshare import (
     H264_TRANSFORM_SEQUENCES,
-    AtomProposal,
     common_subsequence,
     longest_common_subsequence,
     suggest_shared_atoms,

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import AtomSpace, Molecule, layered_dataflow, list_schedule
+from repro.core import AtomSpace, layered_dataflow, list_schedule
 
 KINDS = ["A", "B", "C"]
 SPACE = AtomSpace(KINDS)

@@ -1,6 +1,5 @@
 """Property tests for molecule selection and rotation planning."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

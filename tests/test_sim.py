@@ -6,10 +6,8 @@ from repro.sim import (
     Branch,
     Compute,
     CoreModel,
-    Event,
     EventKind,
     ExecuteSI,
-    Exit,
     Forecast,
     IRBlock,
     Jump,
