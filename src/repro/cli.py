@@ -3,7 +3,9 @@
 ``python -m repro list`` shows the available experiments;
 ``python -m repro fig12`` (etc.) prints the regenerated artifact;
 ``python -m repro lint`` statically checks the shipped artifacts with
-rispp-lint (see :mod:`repro.analysis`).
+rispp-lint (see :mod:`repro.analysis`);
+``python -m repro bench`` times the end-to-end flows and run-time hot
+paths and emits ``BENCH_runtime.json`` (see :mod:`repro.bench`).
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 *asserts* the reproduction criteria; this CLI is the quick look.
 """
@@ -212,12 +214,46 @@ def _lint(argv: list[str]) -> int:
     return report.exit_code()
 
 
+def _bench(argv: list[str]) -> int:
+    from .bench import SUITES, render_report, run_suite, write_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Time the end-to-end RISPP flows and the run-time hot paths; "
+            "emit a schema-stable JSON performance report."
+        ),
+    )
+    parser.add_argument(
+        "--suite", choices=sorted(SUITES), default="synthetic",
+        help="workload to benchmark (default: synthetic)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the report as JSON (e.g. BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced iteration counts (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(args.suite, quick=args.quick)
+    print(render_report(report))
+    if args.json:
+        write_report(report, args.json)
+        print(f"\nreport written to {args.json}")
+    # A trace mismatch means an optimization changed event semantics —
+    # that is a correctness failure, not a performance number.
+    return 0 if report["end_to_end"].get("trace_equal", True) else 1
+
+
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
     return (
-        "usage: repro {list | all | lint | <experiment>}\n"
+        "usage: repro {list | all | lint | bench | <experiment>}\n"
         f"experiments: {names}\n"
-        "run 'repro list' for descriptions, 'repro lint --help' for lint flags"
+        "run 'repro list' for descriptions, 'repro lint --help' for lint "
+        "flags, 'repro bench --help' for bench flags"
     )
 
 
@@ -229,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
     command, rest = args[0], args[1:]
     if command == "lint":
         return _lint(rest)
+    if command == "bench":
+        return _bench(rest)
     if rest:
         print(f"repro {command}: unexpected arguments {rest}", file=sys.stderr)
         return 2
@@ -247,7 +285,9 @@ def main(argv: list[str] | None = None) -> int:
         print(fn())
         return 0
     hint = ""
-    close = difflib.get_close_matches(command, [*EXPERIMENTS, "list", "all", "lint"], n=1)
+    close = difflib.get_close_matches(
+        command, [*EXPERIMENTS, "list", "all", "lint", "bench"], n=1
+    )
     if close:
         hint = f" (did you mean {close[0]!r}?)"
     print(

@@ -39,6 +39,12 @@ class AtomContainer:
     rotations: int = field(default=0)
     #: Permanently out of service (fabric defect); never holds Atoms again.
     failed: bool = False
+    #: Bumped on every availability-changing mutation (rotation start or
+    #: completion, eviction, failure).  The fabric sums these into its
+    #: state generation so derived views can be memoized between
+    #: mutations; ``last_used`` touches do not count — they never change
+    #: which Atoms are usable.
+    generation: int = field(default=0, compare=False, repr=False)
 
     def is_available(self) -> bool:
         """True when the container holds a usable Atom."""
@@ -55,6 +61,7 @@ class AtomContainer:
         self.state = ContainerState.EMPTY
         self.atom = None
         self.ready_at = None
+        self.generation += 1
         return lost
 
     def is_busy(self) -> bool:
@@ -82,6 +89,7 @@ class AtomContainer:
         if owner is not None:
             self.owner = owner
         self.rotations += 1
+        self.generation += 1
 
     def complete_rotation(self, now: int) -> None:
         """Finish the in-flight rotation (called by the port at ``ready_at``)."""
@@ -96,6 +104,7 @@ class AtomContainer:
         self.state = ContainerState.LOADED
         self.ready_at = None
         self.last_used = now
+        self.generation += 1
 
     def touch(self, now: int) -> None:
         """Record a use of the loaded Atom (replacement-policy input)."""
@@ -114,6 +123,7 @@ class AtomContainer:
         previous = self.atom
         self.state = ContainerState.EMPTY
         self.atom = None
+        self.generation += 1
         return previous
 
     def reassign(self, owner: str | None) -> None:

@@ -7,11 +7,19 @@ be matched with a single lattice comparison).  Static atoms — helpers
 hard-wired next to the core data path (``Load``/``Add``/``Store`` in the
 case study) — are always available in effectively unlimited multiplicity,
 which we model with a configurable count.
+
+The derived molecule views (:meth:`available_atoms`,
+:meth:`loaded_reconfigurable`, :meth:`in_flight`) are memoized against a
+**state generation** — the sum of the per-container mutation counters.
+Between rotations the fabric is immutable, yet the run-time manager asks
+"what is loaded?" on *every* SI execution; the generation check turns
+those queries into a dict lookup instead of a molecule construction.
+Pass ``cache=False`` for the always-recompute baseline (the bench
+harness uses it to measure the cache's effect and to prove trace
+equivalence).
 """
 
 from __future__ import annotations
-
-
 
 from ..core.atom import AtomCatalogue
 from ..core.molecule import Molecule
@@ -27,6 +35,7 @@ class Fabric:
         num_containers: int,
         *,
         static_multiplicity: int = 16,
+        cache: bool = True,
     ):
         if num_containers < 0:
             raise ValueError("container count cannot be negative")
@@ -45,6 +54,10 @@ class Fabric:
             if baseline:
                 self._static[name] = baseline
         self._reconfigurable = set(catalogue.reconfigurable_names())
+        self.cache_enabled = cache
+        #: generation -> memoized view; one entry each, replaced on miss.
+        self._available_cache: tuple[int, Molecule] | None = None
+        self._loaded_cache: tuple[int, Molecule] | None = None
 
     # -- capacity ---------------------------------------------------------
 
@@ -56,8 +69,24 @@ class Fabric:
 
     # -- atom visibility ------------------------------------------------------
 
+    @property
+    def generation(self) -> int:
+        """Monotone counter of availability-changing mutations."""
+        return sum(c.generation for c in self.containers)
+
     def available_atoms(self) -> Molecule:
         """Usable Atoms right now: loaded containers + static atoms."""
+        if self.cache_enabled:
+            gen = self.generation
+            cached = self._available_cache
+            if cached is not None and cached[0] == gen:
+                return cached[1]
+            molecule = self._compute_available()
+            self._available_cache = (gen, molecule)
+            return molecule
+        return self._compute_available()
+
+    def _compute_available(self) -> Molecule:
         counts = dict(self._static)
         for c in self.containers:
             if c.is_available() and c.atom is not None:
@@ -66,6 +95,17 @@ class Fabric:
 
     def loaded_reconfigurable(self) -> Molecule:
         """Only the Atoms sitting in (loaded) containers."""
+        if self.cache_enabled:
+            gen = self.generation
+            cached = self._loaded_cache
+            if cached is not None and cached[0] == gen:
+                return cached[1]
+            molecule = self._compute_loaded()
+            self._loaded_cache = (gen, molecule)
+            return molecule
+        return self._compute_loaded()
+
+    def _compute_loaded(self) -> Molecule:
         counts: dict[str, int] = {}
         for c in self.containers:
             if c.is_available() and c.atom is not None:
@@ -128,13 +168,25 @@ class Fabric:
             raise ValueError(f"atom kind {atom!r} is static and never rotates")
 
     def touch_atoms(self, molecule: Molecule, now: int) -> None:
-        """Mark containers backing ``molecule``'s reconfigurable atoms as used."""
+        """Mark containers backing ``molecule``'s reconfigurable atoms as used.
+
+        One pass over the containers (id order, matching the original
+        per-kind ``containers_holding`` walk) instead of one scan per
+        atom kind — this sits on the SI-execution hot path.
+        """
+        needed: dict[str, int] = {}
         for kind in molecule.kinds_used():
-            if kind not in self._reconfigurable:
+            if kind in self._reconfigurable:
+                needed[kind] = molecule.count(kind)
+        if not needed:
+            return
+        for c in self.containers:
+            if not c.is_available():
                 continue
-            needed = molecule.count(kind)
-            for c in self.containers_holding(kind)[:needed]:
-                c.touch(now)
+            remaining = needed.get(c.atom or "", 0)
+            if remaining > 0:
+                c.last_used = now
+                needed[c.atom or ""] = remaining - 1
 
     def utilisation(self) -> float:
         """Fraction of containers holding or loading an Atom."""

@@ -135,16 +135,20 @@ class ReconfigurationPort:
         """Process starts and completions up to cycle ``now``.
 
         Returns the jobs *completed* by this call, in completion order.
+
+        Jobs whose target container died are dropped first: the write is
+        lost and the reservation released.  Dropping a *not-yet-started*
+        job frees its slot on the serial port, so the remaining unstarted
+        jobs are pulled forward and ``busy_until`` is recomputed — later
+        rotations must not queue behind a phantom bitstream write.
         """
+        if any(
+            fabric.container(j.container_id).failed for j in self._pending
+        ):
+            self._drop_failed(fabric, now)
         completed: list[RotationJob] = []
-        dropped: list[RotationJob] = []
         for job in sorted(self._pending, key=lambda j: j.started_at):
             container = fabric.container(job.container_id)
-            if container.failed:
-                # The target died under a scheduled rotation: the write is
-                # lost, the reservation released.
-                dropped.append(job)
-                continue
             if not job.started and job.started_at <= now:
                 container.evict()
                 container.begin_rotation(
@@ -155,10 +159,41 @@ class ReconfigurationPort:
                 container.complete_rotation(job.finish_at)
                 job.completed = True
                 completed.append(job)
-        for job in completed + dropped:
+        for job in completed:
             self._pending.remove(job)
             self._reserved.discard(job.container_id)
         return completed
+
+    def _drop_failed(self, fabric: Fabric, now: int) -> None:
+        """Remove jobs targeting failed containers; close the port gap.
+
+        The remaining unstarted jobs keep their relative order but start
+        as early as the port allows: after any write still in flight and
+        never before the drop is processed (``now``) or the job's own
+        request cycle.
+        """
+        dropped = False
+        for job in list(self._pending):
+            if fabric.container(job.container_id).failed:
+                dropped = True
+                self._pending.remove(job)
+                self._reserved.discard(job.container_id)
+        if not dropped:
+            return
+        cursor = now
+        for job in sorted(self._pending, key=lambda j: j.started_at):
+            if job.started:
+                cursor = max(cursor, job.finish_at)
+                continue
+            duration = job.finish_at - job.started_at
+            job.started_at = max(cursor, job.requested_at)
+            job.finish_at = job.started_at + duration
+            cursor = job.finish_at
+        self.busy_until = cursor
+
+    def is_idle(self) -> bool:
+        """True when no rotation is scheduled or in flight."""
+        return not self._pending
 
     def next_event(self) -> int | None:
         """Cycle of the earliest pending start or completion (None if idle)."""

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from ..core.library import SILibrary
 from ..core.molecule import Molecule
 from ..core.selection import ForecastedSI, select_greedy
+from ..core.si import MoleculeImpl
 from ..hardware.fabric import Fabric
 from ..hardware.reconfig import ReconfigurationPort
 from ..sim.trace import EventKind, Trace
@@ -49,6 +50,9 @@ class RuntimeStats:
     si_cycles: int = 0
     rotations_requested: int = 0
     replans: int = 0
+    #: Replans proven redundant (same weights, same future population)
+    #: and skipped by the plan cache — see :meth:`RisppRuntime._replan`.
+    replans_skipped: int = 0
     mode_switches: int = 0
     #: Accumulated only when the runtime carries an EnergyModel.
     rotation_energy_nj: float = 0.0
@@ -87,12 +91,14 @@ class RisppRuntime:
         forecasting: bool = True,
         selection=select_greedy,
         energy_model=None,
+        optimize: bool = True,
     ):
         self.library = library
         self.fabric = Fabric(
             library.catalogue,
             num_containers,
             static_multiplicity=static_multiplicity,
+            cache=optimize,
         )
         self.port = ReconfigurationPort(library.catalogue, core_mhz=core_mhz)
         self.policy = policy if policy is not None else LRUPolicy()
@@ -110,6 +116,20 @@ class RisppRuntime:
         #: A previous plan could not place every demanded atom (all
         #: containers were reserved); retry when rotations complete.
         self._unplaced_for: str | None = None
+        #: Hot-path caching (disable with ``optimize=False`` for the
+        #: bench harness's pre-optimization baseline).
+        self._optimize = optimize
+        #: Memoized ``best_available`` per SI, valid for one fabric
+        #: generation: between rotations the fabric does not change, so
+        #: neither does the chosen implementation.
+        self._impl_cache: dict[str, MoleculeImpl | None] = {}
+        self._impl_cache_gen = -1
+        #: Memoized reconfigurable projection per implementation object.
+        self._rc_cache: dict[int, Molecule] = {}
+        #: Input signature (weight vector, future population) of the last
+        #: replan that issued nothing; an identical signature makes the
+        #: next replan a guaranteed no-op, so it is skipped.
+        self._plan_key: tuple | None = None
 
     # -- time ------------------------------------------------------------
 
@@ -121,6 +141,9 @@ class RisppRuntime:
         each completion interrupt at its own cycle, so decisions never see
         hardware state from the future.
         """
+        if self._optimize and self.port.is_idle():
+            # Nothing scheduled or in flight: the fabric cannot change.
+            return
         while True:
             next_completion = self.port.next_completion()
             if next_completion is None or next_completion > now:
@@ -205,17 +228,14 @@ class RisppRuntime:
                 task=task, si_name=si_name, weight=1.0, priority=1.0
             )
             self._replan(now, triggering_task=task)
-        available = self.fabric.available_atoms()
-        impl = si.best_available(available)
+        impl = self._best_available(si)
         if impl is None:
             cycles = si.software_cycles
             mode = "SW"
         else:
             cycles = impl.cycles
             mode = impl.label or "HW"
-            self.fabric.touch_atoms(
-                self.library.restricted_to_reconfigurable(impl.molecule), now
-            )
+            self.fabric.touch_atoms(self._reconfigurable_of(impl), now)
         previous = self._last_mode.get((task, si_name))
         if previous is not None and previous != mode:
             self.stats.mode_switches += 1
@@ -230,14 +250,25 @@ class RisppRuntime:
             )
         self._last_mode[(task, si_name)] = mode
         self.monitor.si_executed(task, si_name)
-        self.trace.record(
-            now,
-            EventKind.SI_EXECUTED,
-            task=task,
-            si=si_name,
-            mode=mode,
-            cycles=cycles,
-        )
+        if self._optimize:
+            # Lazy detail: the dict is only built if somebody reads it —
+            # resolved values are identical to the eager form below.
+            self.trace.record_lazy(
+                now,
+                EventKind.SI_EXECUTED,
+                lambda mode=mode, cycles=cycles: {"mode": mode, "cycles": cycles},
+                task=task,
+                si=si_name,
+            )
+        else:
+            self.trace.record(
+                now,
+                EventKind.SI_EXECUTED,
+                task=task,
+                si=si_name,
+                mode=mode,
+                cycles=cycles,
+            )
         per_task = self.task_stats.setdefault(task, RuntimeStats())
         energy = 0.0
         if self.energy_model is not None:
@@ -281,30 +312,76 @@ class RisppRuntime:
     def si_cycles(self, si_name: str, now: int) -> int:
         """Latency one execution would take right now (no side effects)."""
         self.advance(now)
-        return self.library.get(si_name).cycles_with(self.fabric.available_atoms())
+        si = self.library.get(si_name)
+        impl = self._best_available(si)
+        return si.software_cycles if impl is None else impl.cycles
 
     def si_mode(self, si_name: str, now: int) -> str:
         """Current execution mode: a molecule label or ``"SW"``."""
         self.advance(now)
-        impl = self.library.get(si_name).best_available(
-            self.fabric.available_atoms()
-        )
+        impl = self._best_available(self.library.get(si_name))
         return (impl.label or "HW") if impl is not None else "SW"
 
     # -- internals -----------------------------------------------------------------
 
+    def _best_available(self, si) -> MoleculeImpl | None:
+        """``si.best_available`` memoized against the fabric generation.
+
+        Between rotations the available-atom molecule cannot change, so
+        the lattice scan over the SI's implementations is done once per
+        (SI, fabric state) instead of once per execution.
+        """
+        if not self._optimize:
+            return si.best_available(self.fabric.available_atoms())
+        gen = self.fabric.generation
+        if gen != self._impl_cache_gen:
+            self._impl_cache.clear()
+            self._impl_cache_gen = gen
+        try:
+            return self._impl_cache[si.name]
+        except KeyError:
+            impl = si.best_available(self.fabric.available_atoms())
+            self._impl_cache[si.name] = impl
+            return impl
+
+    def _reconfigurable_of(self, impl: MoleculeImpl) -> Molecule:
+        """Reconfigurable projection of an implementation, memoized.
+
+        Implementations are immutable and owned by the library, so the
+        projection is computed once per object for the runtime's life.
+        """
+        if not self._optimize:
+            return self.library.restricted_to_reconfigurable(impl.molecule)
+        key = id(impl)
+        cached = self._rc_cache.get(key)
+        if cached is None:
+            cached = self.library.restricted_to_reconfigurable(impl.molecule)
+            self._rc_cache[key] = cached
+        return cached
+
     def _replan(self, now: int, *, triggering_task: str) -> None:
-        self.stats.replans += 1
         weights: dict[str, float] = {}
         for f in self._active.values():
+            # Use the monitor-tuned expectation directly (guarding only
+            # against non-positive values): an SI the monitor learned is
+            # rarely executed must not keep full selection weight and hog
+            # Atom Containers just because its tuned weight fell below 1.
             weights[f.si_name] = weights.get(f.si_name, 0.0) + (
-                max(f.weight, 1.0) * f.priority
+                max(f.weight, 0.0) * f.priority
             )
+        loaded = future_population(self.fabric, self.port)
+        plan_key = (tuple(sorted(weights.items())), loaded)
+        if self._optimize and plan_key == self._plan_key:
+            # Identical inputs to a replan that provably issued nothing:
+            # selection and planning are deterministic in (weights,
+            # future population), so this round is a guaranteed no-op.
+            self.stats.replans_skipped += 1
+            return
+        self.stats.replans += 1
         requests = [
             ForecastedSI(self.library.get(name), weight)
             for name, weight in sorted(weights.items())
         ]
-        loaded = future_population(self.fabric, self.port)
         result = self.selection(
             self.library, requests, len(self.fabric), loaded=loaded
         )
@@ -345,6 +422,14 @@ class RisppRuntime:
                 evicts=job.evicted,
             )
         self._unplaced_for = triggering_task if plan.unplaced else None
+        # Only a round that issued no rotations and left nothing unplaced
+        # is memoizable: re-running it with the same weight vector and
+        # future population cannot produce trace events or state changes.
+        # (A round that *did* issue jobs changed the future population,
+        # so its key can never match a later call anyway.)
+        self._plan_key = (
+            plan_key if not plan.jobs and not plan.unplaced else None
+        )
 
     def _rotation_priority(
         self, chosen: dict, weights: dict[str, float], loaded: Molecule

@@ -161,6 +161,7 @@ def compile_and_run(
     distance: str = "expected",
     core_mhz: float = 100.0,
     lint: bool = True,
+    optimize: bool = True,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
@@ -183,7 +184,9 @@ def compile_and_run(
         # containers stays un-checked here on purpose: running a library
         # on fewer (even zero) containers is a valid pure-SW baseline.
         _enforce(lint_flow(cfg, library, annotation, fdfs=fdfs, subject="flow"))
-    runtime = RisppRuntime(library, containers, core_mhz=core_mhz)
+    runtime = RisppRuntime(
+        library, containers, core_mhz=core_mhz, optimize=optimize
+    )
     result = run_annotated_program(
         program, annotation, runtime, dict(run_env or {}), lint=False
     )

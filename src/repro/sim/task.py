@@ -132,6 +132,10 @@ class MultiTaskSimulator:
             self.runtime.forecast_end(action.si_name, now, task=task.name)
         elif isinstance(action, Label):
             self.labels[f"{task.name}:{action.name}"] = now
+            # Drain rotation completions up to `now` first: the label is
+            # recorded directly into the trace, and completions that
+            # happened earlier must precede it (time-ordered contract).
+            self.runtime.advance(now)
             self.runtime.trace.record(
                 now, EventKind.TASK_STEP, task=task.name, label=action.name
             )

@@ -5,12 +5,24 @@ rotation starts/completions, SI executions and their SW/HW mode switches
 — is recorded as an :class:`Event`.  Benches and tests assert directly on
 the event sequence; :meth:`Trace.render_timeline` prints the
 human-readable scenario view.
+
+The trace enforces its contract at append time: event cycles are
+non-negative and non-decreasing.  Concurrent tasks interleave through one
+shared clock (the multi-task simulator always steps the least-advanced
+task), so a cycle smaller than the previous event's is a scheduling bug
+upstream, not a legal relaxation — :meth:`Trace.record` raises rather
+than silently distorting the timeline benches measure.
+
+Event details can be built *lazily*: the run-time manager's hot path
+records thousands of events per run, and for most of them the detail
+dict is never read.  :meth:`Trace.record_lazy` accepts a zero-argument
+factory that is resolved (once) on first access to :attr:`Event.detail`.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from typing import Any, Callable
 
 
 class EventKind(enum.Enum):
@@ -28,15 +40,54 @@ class EventKind(enum.Enum):
     CONTAINER_FAILED = "container_failed"
 
 
-@dataclass(frozen=True)
 class Event:
-    """One timestamped run-time event."""
+    """One timestamped run-time event.
 
-    cycle: int
-    kind: EventKind
-    task: str = ""
-    si: str = ""
-    detail: dict = field(default_factory=dict)
+    ``detail`` may be stored as a zero-argument factory; it is resolved
+    and cached the first time it is read, so unread details cost nothing
+    beyond holding the factory.
+    """
+
+    __slots__ = ("cycle", "kind", "task", "si", "_detail")
+
+    def __init__(
+        self,
+        cycle: int,
+        kind: EventKind,
+        task: str = "",
+        si: str = "",
+        detail: dict | Callable[[], dict] | None = None,
+    ):
+        self.cycle = cycle
+        self.kind = kind
+        self.task = task
+        self.si = si
+        self._detail = detail
+
+    @property
+    def detail(self) -> dict:
+        d = self._detail
+        if callable(d):
+            d = d()
+            self._detail = d
+        elif d is None:
+            d = {}
+            self._detail = d
+        return d
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.cycle == other.cycle
+            and self.kind == other.kind
+            and self.task == other.task
+            and self.si == other.si
+            and self.detail == other.detail
+        )
+
+    # Events carry a mutable detail dict and were never hashable.
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         bits = [f"@{self.cycle}", self.kind.value]
@@ -50,10 +101,17 @@ class Event:
 
 
 class Trace:
-    """An append-only, time-ordered event log."""
+    """An append-only, time-ordered event log.
+
+    Appends must carry non-negative, non-decreasing cycles; equal cycles
+    are fine (many events legitimately share one cycle — a forecast and
+    the rotations it requests, a mode switch and the execution it
+    annotates).
+    """
 
     def __init__(self) -> None:
         self.events: list[Event] = []
+        self._last_cycle = 0
 
     def record(
         self,
@@ -62,13 +120,39 @@ class Trace:
         *,
         task: str = "",
         si: str = "",
-        **detail,
+        **detail: Any,
     ) -> Event:
-        if self.events and cycle < 0:
+        return self._append(Event(cycle, kind, task, si, detail or None))
+
+    def record_lazy(
+        self,
+        cycle: int,
+        kind: EventKind,
+        detail_factory: Callable[[], dict],
+        *,
+        task: str = "",
+        si: str = "",
+    ) -> Event:
+        """Like :meth:`record`, but the detail dict is built on demand."""
+        return self._append(Event(cycle, kind, task, si, detail_factory))
+
+    def _append(self, event: Event) -> Event:
+        cycle = event.cycle
+        if cycle < 0:
             raise ValueError("event cycle cannot be negative")
-        event = Event(cycle=cycle, kind=kind, task=task, si=si, detail=detail)
+        if cycle < self._last_cycle:
+            raise ValueError(
+                f"out-of-order event: cycle {cycle} after {self._last_cycle} "
+                f"({event.kind.value})"
+            )
+        self._last_cycle = cycle
         self.events.append(event)
         return event
+
+    @property
+    def last_cycle(self) -> int:
+        """Cycle of the most recent event (0 when empty)."""
+        return self._last_cycle
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,134 @@
+"""The ``repro bench`` harness: timing primitives, schema, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    StageResult,
+    render_report,
+    run_suite,
+    time_best,
+    time_stage,
+    trace_signature,
+    write_report,
+)
+from repro.cli import main
+from repro.sim import EventKind, Trace
+
+#: Layout contract of BENCH_runtime.json (CI uploads it on every push).
+REPORT_KEYS = {
+    "schema_version", "suite", "quick", "timestamp_utc",
+    "python", "platform", "end_to_end", "stages", "totals",
+}
+END_TO_END_KEYS = {
+    "scenario", "baseline_s", "optimized_s", "speedup", "trace_equal",
+    "trace_events", "si_executions", "simulated_cycles", "cycles_per_sec",
+}
+STAGE_KEYS = {
+    "name", "wall_s", "iterations", "repeats", "throughput", "unit", "extra",
+}
+
+
+class TestHarness:
+    def test_time_stage_runs_and_times(self):
+        calls = []
+        stage = time_stage(
+            "s", lambda: calls.append(1), iterations=10, repeats=4
+        )
+        assert len(calls) == 4  # best-of-4
+        assert stage.wall_s >= 0
+        assert stage.iterations == 10
+        assert stage.throughput > 0
+
+    def test_time_stage_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            time_stage("s", lambda: None, iterations=1, repeats=0)
+
+    def test_time_best_returns_last_result(self):
+        wall, result = time_best(lambda: 42, repeats=2)
+        assert result == 42
+        assert wall >= 0
+
+    def test_stage_result_dict_is_schema_stable(self):
+        d = StageResult("s", 0.5, iterations=100, repeats=3).to_dict()
+        assert set(d) == STAGE_KEYS
+        assert d["throughput"] == pytest.approx(200.0)
+
+    def test_trace_signature_resolves_lazy_details(self):
+        eager, lazy = Trace(), Trace()
+        eager.record(5, EventKind.SI_EXECUTED, si="S", mode="HW", cycles=12)
+        lazy.record_lazy(
+            5, EventKind.SI_EXECUTED, lambda: {"mode": "HW", "cycles": 12},
+            si="S",
+        )
+        assert trace_signature(eager) == trace_signature(lazy)
+        assert trace_signature(eager) != trace_signature(Trace())
+
+
+class TestSuites:
+    @pytest.fixture(scope="class")
+    def synthetic_report(self):
+        return run_suite("synthetic", quick=True)
+
+    def test_report_schema(self, synthetic_report):
+        report = synthetic_report
+        assert set(report) == REPORT_KEYS
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["suite"] == "synthetic"
+        assert report["quick"] is True
+        assert set(report["end_to_end"]) == END_TO_END_KEYS
+        for stage in report["stages"]:
+            assert set(stage) == STAGE_KEYS
+        assert report["totals"]["stages"] == len(report["stages"])
+
+    def test_optimizations_preserve_trace_and_speed_things_up(
+        self, synthetic_report
+    ):
+        e2e = synthetic_report["end_to_end"]
+        assert e2e["trace_equal"] is True
+        assert e2e["trace_events"] > 0
+        assert e2e["speedup"] > 0
+        assert e2e["si_executions"] > 0
+
+    def test_micro_stages_cover_the_hot_paths(self, synthetic_report):
+        names = [s["name"] for s in synthetic_report["stages"]]
+        assert names == [
+            "selection", "rotation_planning", "execute_si", "trace_record",
+        ]
+
+    def test_report_round_trips_through_json(self, synthetic_report, tmp_path):
+        path = tmp_path / "BENCH_runtime.json"
+        write_report(synthetic_report, str(path))
+        assert json.loads(path.read_text()) == synthetic_report
+
+    def test_render_report_mentions_the_verdict(self, synthetic_report):
+        text = render_report(synthetic_report)
+        assert "trace equivalence: OK" in text
+        assert "speedup" in text
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("mp3")
+
+
+class TestBenchCLI:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_runtime.json"
+        code = main(["bench", "--suite", "synthetic", "--quick",
+                     "--json", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bench suite: synthetic (quick)" in out
+        report = json.loads(path.read_text())
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["end_to_end"]["trace_equal"] is True
+
+    def test_bench_rejects_unknown_suite(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "mp3"])
+
+    def test_usage_mentions_bench(self, capsys):
+        main([])
+        assert "bench" in capsys.readouterr().out

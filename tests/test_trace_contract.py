@@ -1,0 +1,171 @@
+"""The trace time-ordering contract and lazy detail construction.
+
+The trace is the ground truth every bench and figure reads, so its
+invariants are enforced at append time: cycles are non-negative and
+non-decreasing.  The second half fuzzes the run-time manager with
+arbitrary interleavings of ``forecast`` / ``execute_si`` /
+``fail_container`` and asserts the recorded trace always honours the
+contract — and that the optimized runtime produces the exact same event
+sequence as the ``optimize=False`` baseline.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import trace_signature
+from repro.core import AtomCatalogue, AtomKind, MoleculeImpl, SILibrary, SpecialInstruction
+from repro.runtime import RisppRuntime
+from repro.sim import Event, EventKind, Trace
+
+
+class TestTraceContract:
+    def test_negative_cycle_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="negative"):
+            trace.record(-1, EventKind.FORECAST)
+        # The failed append must not corrupt the log.
+        assert len(trace) == 0
+        assert trace.last_cycle == 0
+
+    def test_negative_cycle_rejected_even_as_first_event(self):
+        # Regression: the old guard only fired when the trace already had
+        # events, so a leading negative timestamp slipped through.
+        trace = Trace()
+        with pytest.raises(ValueError):
+            trace.record(-7, EventKind.SI_EXECUTED, si="HT")
+
+    def test_out_of_order_append_rejected(self):
+        trace = Trace()
+        trace.record(100, EventKind.FORECAST, si="HT")
+        with pytest.raises(ValueError, match="out-of-order"):
+            trace.record(99, EventKind.SI_EXECUTED, si="HT")
+        assert len(trace) == 1
+        assert trace.last_cycle == 100
+
+    def test_equal_cycles_allowed(self):
+        trace = Trace()
+        trace.record(10, EventKind.FORECAST, si="HT")
+        trace.record(10, EventKind.ROTATION_REQUESTED)
+        trace.record(10, EventKind.SI_EXECUTED, si="HT")
+        assert [e.cycle for e in trace] == [10, 10, 10]
+
+    def test_record_lazy_defers_and_caches(self):
+        trace = Trace()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return {"mode": "HW", "cycles": 12}
+
+        event = trace.record_lazy(5, EventKind.SI_EXECUTED, factory, si="HT")
+        assert calls == []  # nothing resolved yet
+        assert event.detail == {"mode": "HW", "cycles": 12}
+        assert event.detail is event.detail  # cached, not rebuilt
+        assert calls == [1]
+
+    def test_lazy_event_equals_eager_event(self):
+        eager = Event(5, EventKind.SI_EXECUTED, "t", "HT", {"cycles": 12})
+        lazy = Event(5, EventKind.SI_EXECUTED, "t", "HT", lambda: {"cycles": 12})
+        assert lazy == eager
+        assert eager == lazy
+
+    def test_lazy_contract_still_enforced(self):
+        trace = Trace()
+        trace.record(50, EventKind.FORECAST)
+        with pytest.raises(ValueError, match="out-of-order"):
+            trace.record_lazy(49, EventKind.SI_EXECUTED, dict)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=30))
+    def test_monotone_sequences_always_accepted(self, deltas):
+        trace = Trace()
+        now = 0
+        for delta in deltas:
+            now += delta
+            trace.record(now, EventKind.TASK_STEP, task="fuzz")
+        assert [e.cycle for e in trace] == sorted(e.cycle for e in trace)
+        assert trace.last_cycle == now
+
+
+def _fuzz_library() -> SILibrary:
+    """Two-SI library with overlapping atom demand (competition included)."""
+    catalogue = AtomCatalogue.of(
+        [
+            AtomKind("Load", reconfigurable=False),
+            AtomKind("Pack", bitstream_bytes=65_713),
+            AtomKind("Transform", bitstream_bytes=59_353),
+            AtomKind("SATD", bitstream_bytes=58_141),
+        ]
+    )
+    space = catalogue.space
+    ht = SpecialInstruction(
+        "HT",
+        space,
+        298,
+        [
+            MoleculeImpl(space.molecule({"Load": 1, "Pack": 1, "Transform": 1}), 22),
+            MoleculeImpl(space.molecule({"Load": 1, "Pack": 1, "Transform": 2}), 17),
+        ],
+    )
+    satd = SpecialInstruction(
+        "SATD",
+        space,
+        544,
+        [
+            MoleculeImpl(
+                space.molecule({"Load": 1, "Pack": 1, "Transform": 1, "SATD": 1}), 24
+            ),
+        ],
+    )
+    return SILibrary(catalogue, [ht, satd])
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["forecast", "execute", "fail", "advance"]),
+        st.sampled_from(["HT", "SATD"]),
+        st.integers(min_value=0, max_value=200_000),  # time delta
+        st.integers(min_value=0, max_value=2),  # container / expected scale
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestRuntimeInterleavings:
+    """Any interleaving yields a monotone, non-negative, cache-equal trace."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=_OPS)
+    def test_interleavings_keep_trace_monotone_and_caches_sound(self, ops):
+        library = _fuzz_library()
+        optimized = RisppRuntime(library, 3, core_mhz=100.0, optimize=True)
+        baseline = RisppRuntime(library, 3, core_mhz=100.0, optimize=False)
+        now = 0
+        for op, si, delta, scale in ops:
+            now += delta
+            for rt in (optimized, baseline):
+                if op == "forecast":
+                    rt.forecast(si, now, expected=float(scale * 50))
+                elif op == "execute":
+                    rt.execute_si(si, now)
+                elif op == "advance":
+                    rt.advance(now)
+                else:  # fail one of the three containers (idempotent)
+                    rt.fail_container(scale, now)
+
+        for rt in (optimized, baseline):
+            cycles = [e.cycle for e in rt.trace]
+            assert all(c >= 0 for c in cycles)
+            assert cycles == sorted(cycles)
+            # The runtime stays functional whatever happened to the fabric.
+            assert rt.execute_si("HT", now + 1) > 0
+
+        # The hot-path caches must never change the event semantics.
+        assert trace_signature(optimized.trace) == trace_signature(
+            baseline.trace
+        )
+        assert optimized.stats.si_cycles == baseline.stats.si_cycles
+        assert optimized.stats.rotations_requested == (
+            baseline.stats.rotations_requested
+        )
