@@ -13,14 +13,28 @@ already-constructed RISPP artifacts *without executing a simulation*:
 * **forecast** — placement soundness of Forecast points (§4.2) against
   their CFG, library and FDFs;
 * **schedule** — feasibility of dataflow schedules (§3) and rotation
-  job sequences on the single reconfiguration port (§5).
+  job sequences on the single reconfiguration port (§5);
+* **trace** — rispp-verify's model-based replay of simulation traces
+  against a reference state machine of the §3/§5 runtime invariants;
+* **feasibility** — rispp-verify's static prover of per-SI worst-case
+  rotation latencies, upgrade starvation and dead molecules/atoms.
 
 Entry points: :func:`run_checks` (registry driver over mixed artifacts),
-the per-family ``lint_*`` helpers, and ``python -m repro lint``.
+the per-family ``lint_*`` helpers, :func:`verify_trace` /
+:func:`verify_runtime` / :func:`prove_feasibility`, and
+``python -m repro lint`` / ``python -m repro verify``.
 The rule catalogue is documented in ``docs/analysis.md``.
 """
 
 from .diagnostics import Diagnostic, DiagnosticReport, LintError, Severity
+from .feasibility import (
+    FeasibilityResult,
+    MoleculeFeasibility,
+    SIRotationBound,
+    port_backlog_bound,
+    prove_feasibility,
+    rotation_cycle_table,
+)
 from .lint import (
     BUILTIN_SUBJECTS,
     lint_builtin,
@@ -31,21 +45,36 @@ from .lint import (
     lint_rotations,
     lint_schedule,
 )
+from .machine import ReferenceMachine
 from .registry import (
     RULES,
     Checker,
+    FeasibilityArtifact,
     ForecastArtifact,
     LintContext,
     RotationLog,
     Rule,
     ScheduleArtifact,
+    TraceArtifact,
     checker,
     checkers,
     checkers_for,
     diag,
+    expand_selectors,
     rule,
     rules_of_family,
     run_checks,
+)
+from .verify import (
+    GoldenTrace,
+    VerifyResult,
+    golden_from_runtime,
+    load_golden,
+    run_verify_suite,
+    verify_golden_result,
+    verify_runtime,
+    verify_trace,
+    write_golden,
 )
 
 __all__ = [
@@ -53,18 +82,28 @@ __all__ = [
     "Checker",
     "Diagnostic",
     "DiagnosticReport",
+    "FeasibilityArtifact",
+    "FeasibilityResult",
     "ForecastArtifact",
+    "GoldenTrace",
     "LintContext",
     "LintError",
+    "MoleculeFeasibility",
     "RULES",
+    "ReferenceMachine",
     "RotationLog",
     "Rule",
+    "SIRotationBound",
     "ScheduleArtifact",
     "Severity",
+    "TraceArtifact",
+    "VerifyResult",
     "checker",
     "checkers",
     "checkers_for",
     "diag",
+    "expand_selectors",
+    "golden_from_runtime",
     "lint_builtin",
     "lint_cfg",
     "lint_flow",
@@ -72,7 +111,16 @@ __all__ = [
     "lint_library",
     "lint_rotations",
     "lint_schedule",
+    "load_golden",
+    "port_backlog_bound",
+    "prove_feasibility",
+    "rotation_cycle_table",
     "rule",
     "rules_of_family",
     "run_checks",
+    "run_verify_suite",
+    "verify_golden_result",
+    "verify_runtime",
+    "verify_trace",
+    "write_golden",
 ]

@@ -174,6 +174,29 @@ class DiagnosticReport:
     def by_rule(self, rule_id: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.rule_id == rule_id]
 
+    def filtered(
+        self,
+        *,
+        select: "Iterable[str] | None" = None,
+        ignore: "Iterable[str] | None" = None,
+    ) -> "DiagnosticReport":
+        """A new report narrowed to the given concrete rule IDs.
+
+        ``select`` keeps only the named rules; ``ignore`` then drops its
+        rules (ignore wins on overlap).  ``None`` means "no constraint".
+        Callers expand user-facing prefixes into concrete IDs first (see
+        :func:`repro.analysis.registry.expand_selectors`).
+        """
+        selected = set(select) if select is not None else None
+        ignored = set(ignore) if ignore is not None else set()
+        kept = [
+            d
+            for d in self.diagnostics
+            if (selected is None or d.rule_id in selected)
+            and d.rule_id not in ignored
+        ]
+        return DiagnosticReport(kept)
+
     def max_severity(self) -> Severity | None:
         if not self.diagnostics:
             return None
@@ -190,15 +213,15 @@ class DiagnosticReport:
 
     # -- rendering -----------------------------------------------------------
 
-    def render_text(self) -> str:
+    def render_text(self, *, tool: str = "rispp-lint") -> str:
         """Multi-line human-readable rendering with a summary tail line."""
         lines = [d.render() for d in self.diagnostics]
         n_err, n_warn = len(self.errors()), len(self.warnings())
         if not self.diagnostics:
-            lines.append("rispp-lint: all checks passed")
+            lines.append(f"{tool}: all checks passed")
         else:
             lines.append(
-                f"rispp-lint: {len(self.diagnostics)} finding(s) "
+                f"{tool}: {len(self.diagnostics)} finding(s) "
                 f"({n_err} error(s), {n_warn} warning(s))"
             )
         return "\n".join(lines)

@@ -13,7 +13,11 @@ Artifact types understood by the driver:
 * :class:`~repro.cfg.graph.ControlFlowGraph` — CFG profile checks;
 * :class:`ForecastArtifact` — forecast placements against their CFG;
 * :class:`ScheduleArtifact` — a dataflow schedule against its molecule;
-* :class:`RotationLog` — reconfiguration-port job sequences.
+* :class:`RotationLog` — reconfiguration-port job sequences;
+* :class:`TraceArtifact` — a recorded run-time event trace, replayed
+  against the reference state machine (rispp-verify);
+* :class:`FeasibilityArtifact` — a library + FC placement + AC count,
+  proven feasible without simulation (rispp-verify).
 """
 
 from __future__ import annotations
@@ -32,7 +36,9 @@ if TYPE_CHECKING:  # imported lazily to keep the module import-light
     from ..core.schedule import Dataflow, Schedule
     from ..forecast.fdf import ForecastDecisionFunction
     from ..forecast.placement import ForecastPoint
+    from ..hardware.energy import EnergyModel
     from ..hardware.reconfig import ReconfigurationPort, RotationJob
+    from ..sim.trace import Event, Trace
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +146,44 @@ _rule("ROT003", "schedule", Severity.ERROR,
 _rule("ROT004", "schedule", Severity.ERROR,
       "rotation of a static atom kind", "§3")
 
+# -- trace family (§3/§5): model-based replay of recorded run traces --------
+_rule("TRC001", "trace", Severity.ERROR,
+      "event cycles negative or out of order", "§5")
+_rule("TRC002", "trace", Severity.ERROR,
+      "rotations overlap on the single reconfiguration port", "§5")
+_rule("TRC003", "trace", Severity.ERROR,
+      "event references an unknown or failed Atom Container", "§5")
+_rule("TRC004", "trace", Severity.ERROR,
+      "Atom Container occupancy inconsistent with the replayed state", "§3/§5")
+_rule("TRC005", "trace", Severity.ERROR,
+      "SI executed without its molecule's atoms resident", "§3.1")
+_rule("TRC006", "trace", Severity.ERROR,
+      "SI execution mode/latency matches no library molecule", "§3.2")
+_rule("TRC007", "trace", Severity.ERROR,
+      "run totals inconsistent with the per-event deltas", "§1/§2")
+_rule("TRC008", "trace", Severity.ERROR,
+      "rotation timing deviates from the SelectMap port model", "§5")
+_rule("TRC009", "trace", Severity.ERROR,
+      "rotation of a static or unknown atom kind", "§3")
+_rule("TRC010", "trace", Severity.ERROR,
+      "event references an SI absent from the library", "§4.2")
+_rule("TRC011", "trace", Severity.ERROR,
+      "execution-mode switch bookkeeping inconsistent", "Fig. 6")
+_rule("TRC012", "trace", Severity.ERROR,
+      "forecast carries an invalid expectation or priority", "§4.2")
+_rule("TRC013", "trace", Severity.ERROR,
+      "SI did not execute the best available molecule", "§5")
+
+# -- feasibility family (§4/§5): static worst-case rotation guarantees ------
+_rule("FEA001", "feasibility", Severity.WARNING,
+      "forecast can never be satisfied before its hot spot", "§4.1")
+_rule("FEA002", "feasibility", Severity.WARNING,
+      "molecule can never be loaded on this platform", "§3/§5")
+_rule("FEA003", "feasibility", Severity.WARNING,
+      "atom kind only used by unloadable molecules", "§3")
+_rule("FEA004", "feasibility", Severity.INFO,
+      "worst-case rotation latency bound", "§5")
+
 
 def rule(rule_id: str) -> Rule:
     """Look up a rule; raises ``KeyError`` for unknown IDs."""
@@ -148,6 +192,27 @@ def rule(rule_id: str) -> Rule:
 
 def rules_of_family(family: str) -> list[Rule]:
     return [r for r in RULES.values() if r.family == family]
+
+
+def expand_selectors(selectors: Iterable[str]) -> set[str]:
+    """Expand ``--select``/``--ignore`` patterns into concrete rule IDs.
+
+    A selector matches case-insensitively by rule-ID prefix, so ``TRC``
+    selects the whole trace family and ``trc005`` one rule.  An empty or
+    unmatched selector raises ``ValueError`` — a typo silently selecting
+    nothing would defeat the point of filtering.
+    """
+    expanded: set[str] = set()
+    for selector in selectors:
+        prefix = selector.strip().upper()
+        matched = [rid for rid in RULES if prefix and rid.startswith(prefix)]
+        if not matched:
+            raise ValueError(
+                f"selector {selector!r} matches no rule ID "
+                f"(families: {sorted({r.family for r in RULES.values()})})"
+            )
+        expanded.update(matched)
+    return expanded
 
 
 def diag(
@@ -237,6 +302,50 @@ class RotationLog:
         )
 
 
+@dataclass
+class TraceArtifact:
+    """A recorded run-time trace plus the platform that produced it.
+
+    ``events`` accepts a :class:`~repro.sim.trace.Trace` or a plain event
+    sequence (e.g. deserialised from a golden-trace file).  ``totals``
+    unlocks the TRC007 accounting rules (pass the runtime's
+    ``RuntimeStats`` as a dict); ``energy_model`` additionally checks the
+    energy totals.
+    """
+
+    events: "Sequence[Event] | Trace"
+    library: "SILibrary"
+    containers: int
+    core_mhz: float = 100.0
+    bytes_per_us: "float | None" = None
+    static_multiplicity: int = 16
+    totals: "dict[str, float] | None" = None
+    energy_model: "EnergyModel | None" = None
+    subject: str = ""
+
+    def __post_init__(self) -> None:
+        self.events = list(self.events)
+
+
+@dataclass
+class FeasibilityArtifact:
+    """A library + AC budget (+ optional FC placement) to prove feasible.
+
+    The prover needs no simulation: worst-case rotation latencies follow
+    from the molecule lattice and the serialised-port model alone.
+    """
+
+    library: "SILibrary"
+    containers: int
+    placements: "Sequence[ForecastPoint]" = ()
+    core_mhz: float = 100.0
+    bytes_per_us: "float | None" = None
+    subject: str = ""
+
+    def __post_init__(self) -> None:
+        self.placements = list(self.placements)
+
+
 # ---------------------------------------------------------------------------
 # Checker registry and driver
 # ---------------------------------------------------------------------------
@@ -305,7 +414,15 @@ def checkers_for(artifact: object) -> list[Checker]:
 
 def _ensure_loaded() -> None:
     """Import the checker modules exactly once (registration side effects)."""
-    from . import cfgcheck, forecastcheck, lattice, library, schedcheck  # noqa: F401
+    from . import (  # noqa: F401
+        cfgcheck,
+        feasibility,
+        forecastcheck,
+        lattice,
+        library,
+        schedcheck,
+        tracecheck,
+    )
 
 
 def _iter_artifacts(artifacts: object) -> Iterator[object]:

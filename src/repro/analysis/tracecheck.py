@@ -1,0 +1,34 @@
+"""Trace replay checker (rules TRC001..TRC013).
+
+The actual model lives in :class:`~repro.analysis.machine.ReferenceMachine`;
+this module registers it with the checker registry so a
+:class:`~repro.analysis.registry.TraceArtifact` flows through the same
+:func:`~repro.analysis.registry.run_checks` driver as every other
+artifact (and honours family filtering, contexts and subjects).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from ..sim.trace import Event
+from .diagnostics import Diagnostic
+from .machine import ReferenceMachine
+from .registry import LintContext, TraceArtifact, checker
+
+
+@checker("trace-replay", "trace", TraceArtifact)
+def check_trace(artifact: TraceArtifact, ctx: LintContext) -> Iterator[Diagnostic]:
+    subject = artifact.subject or ctx.subject or "trace"
+    machine = ReferenceMachine(
+        artifact.library,
+        artifact.containers,
+        core_mhz=artifact.core_mhz,
+        bytes_per_us=artifact.bytes_per_us,
+        static_multiplicity=artifact.static_multiplicity,
+        totals=artifact.totals,
+        energy_model=artifact.energy_model,
+        subject=subject,
+    )
+    events: Sequence[Event] = artifact.events  # type: ignore[assignment]
+    yield from machine.verify(events)

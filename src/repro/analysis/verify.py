@@ -1,0 +1,381 @@
+"""rispp-verify drivers: replay traces, prove feasibility, golden files.
+
+Three entry points tie the reference machine (:mod:`.machine`) and the
+static prover (:mod:`.feasibility`) to the rest of the repository:
+
+* :func:`verify_runtime` / :func:`verify_trace` — check a live
+  :class:`~repro.runtime.manager.RisppRuntime` (the bench harness calls
+  this so "optimized == baseline" means *both traces verify* and their
+  signatures match, not merely raw list equality);
+* :func:`run_verify_suite` — run one of the three shipped scenarios
+  (``h264``/``aes``/``synthetic``), verify its trace and prove the
+  library's feasibility bounds (``python -m repro verify --suite ...``);
+* :func:`golden_from_runtime` / :func:`write_golden` /
+  :func:`load_golden` — serialise a verified run to a golden-trace JSON
+  file that CI archives and re-verifies (``--emit-golden`` /
+  ``--trace``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..core.library import SILibrary
+from ..hardware.energy import EnergyModel
+from ..sim.trace import Event, EventKind
+from .diagnostics import DiagnosticReport
+from .feasibility import FeasibilityResult, prove_feasibility
+from .registry import LintContext, TraceArtifact, run_checks
+
+if TYPE_CHECKING:
+    from ..runtime.manager import RisppRuntime
+
+GOLDEN_SCHEMA_VERSION = 1
+GOLDEN_KIND = "rispp-golden-trace"
+
+#: Suites the verify CLI can run end to end (also valid golden libraries).
+VERIFY_SUITES = ("aes", "h264", "synthetic")
+
+
+def build_library(name: str) -> SILibrary:
+    """The shipped library behind one suite/golden-trace name."""
+    if name == "h264":
+        from ..apps.h264 import build_h264_library
+
+        return build_h264_library()
+    if name == "aes":
+        from ..apps.aes import build_aes_library
+
+        return build_aes_library()
+    if name == "synthetic":
+        from ..bench.suites import build_synthetic_library
+
+        return build_synthetic_library()
+    raise ValueError(
+        f"unknown library {name!r}; choose from {sorted(VERIFY_SUITES)}"
+    )
+
+
+# -- trace verification -------------------------------------------------------
+
+
+def verify_trace(
+    events: "Sequence[Event]",
+    library: SILibrary,
+    *,
+    containers: int,
+    core_mhz: float = 100.0,
+    bytes_per_us: float | None = None,
+    static_multiplicity: int = 16,
+    totals: "dict[str, float] | None" = None,
+    energy_model: EnergyModel | None = None,
+    subject: str = "trace",
+) -> DiagnosticReport:
+    """Replay ``events`` against the reference machine; return findings."""
+    artifact = TraceArtifact(
+        events=events,
+        library=library,
+        containers=containers,
+        core_mhz=core_mhz,
+        bytes_per_us=bytes_per_us,
+        static_multiplicity=static_multiplicity,
+        totals=totals,
+        energy_model=energy_model,
+        subject=subject,
+    )
+    return run_checks(
+        artifact, context=LintContext(subject=subject), families=("trace",)
+    )
+
+
+def verify_runtime(
+    runtime: "RisppRuntime", *, subject: str = "runtime"
+) -> DiagnosticReport:
+    """Verify a live runtime's trace, totals and energy accounting."""
+    return verify_trace(
+        runtime.trace.events,
+        runtime.library,
+        containers=len(runtime.fabric),
+        core_mhz=runtime.port.core_mhz,
+        bytes_per_us=runtime.port.bytes_per_us,
+        static_multiplicity=runtime.fabric.static_multiplicity,
+        totals=asdict(runtime.stats),
+        energy_model=runtime.energy_model,
+        subject=subject,
+    )
+
+
+# -- golden traces ------------------------------------------------------------
+
+
+@dataclass
+class GoldenTrace:
+    """A deserialised golden-trace file, ready to verify."""
+
+    suite: str
+    library_name: str
+    artifact: TraceArtifact
+
+
+def golden_from_runtime(
+    runtime: "RisppRuntime", *, suite: str, library_name: str | None = None
+) -> dict[str, object]:
+    """Serialise one finished run to the golden-trace JSON schema."""
+    energy = runtime.energy_model
+    return {
+        "schema_version": GOLDEN_SCHEMA_VERSION,
+        "kind": GOLDEN_KIND,
+        "suite": suite,
+        "library": library_name if library_name is not None else suite,
+        "containers": len(runtime.fabric),
+        "core_mhz": runtime.port.core_mhz,
+        "bytes_per_us": runtime.port.bytes_per_us,
+        "static_multiplicity": runtime.fabric.static_multiplicity,
+        "totals": asdict(runtime.stats),
+        "energy_model": asdict(energy) if energy is not None else None,
+        "events": [
+            {
+                "cycle": e.cycle,
+                "kind": e.kind.value,
+                "task": e.task,
+                "si": e.si,
+                "detail": dict(e.detail),
+            }
+            for e in runtime.trace.events
+        ],
+    }
+
+
+def write_golden(golden: "dict[str, object]", path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=None, separators=(",", ":"))
+        fh.write("\n")
+
+
+def load_golden(path: str) -> GoldenTrace:
+    """Load and validate a golden-trace file; rebuilds its library."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return golden_from_dict(data)
+
+
+def golden_from_dict(data: "dict[str, object]") -> GoldenTrace:
+    if data.get("kind") != GOLDEN_KIND:
+        raise ValueError(
+            f"not a golden-trace file (kind={data.get('kind')!r})"
+        )
+    if data.get("schema_version") != GOLDEN_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported golden-trace schema {data.get('schema_version')!r}"
+        )
+    library_name = str(data["library"])
+    library = build_library(library_name)
+    raw_energy = data.get("energy_model")
+    energy = None
+    if isinstance(raw_energy, dict):
+        energy = EnergyModel(**raw_energy)
+    raw_events = data.get("events")
+    if not isinstance(raw_events, list):
+        raise ValueError("golden-trace file carries no event list")
+    events = [
+        Event(
+            int(e["cycle"]),
+            EventKind(e["kind"]),
+            str(e.get("task", "")),
+            str(e.get("si", "")),
+            dict(e["detail"]) if e.get("detail") else None,
+        )
+        for e in raw_events
+    ]
+    totals = data.get("totals")
+    artifact = TraceArtifact(
+        events=events,
+        library=library,
+        containers=int(data["containers"]),  # type: ignore[call-overload]
+        core_mhz=float(data.get("core_mhz", 100.0)),  # type: ignore[arg-type]
+        bytes_per_us=(
+            float(data["bytes_per_us"])  # type: ignore[arg-type]
+            if data.get("bytes_per_us") is not None
+            else None
+        ),
+        static_multiplicity=int(data.get("static_multiplicity", 16)),  # type: ignore[call-overload]
+        totals=dict(totals) if isinstance(totals, dict) else None,
+        energy_model=energy,
+        subject=f"golden:{data.get('suite', library_name)}",
+    )
+    return GoldenTrace(
+        suite=str(data.get("suite", library_name)),
+        library_name=library_name,
+        artifact=artifact,
+    )
+
+
+def verify_golden(golden: GoldenTrace) -> DiagnosticReport:
+    return run_checks(
+        golden.artifact,
+        context=LintContext(subject=golden.artifact.subject),
+        families=("trace",),
+    )
+
+
+# -- shipped suite scenarios --------------------------------------------------
+
+
+@dataclass
+class VerifyResult:
+    """One suite run: trace findings + static feasibility bounds."""
+
+    suite: str
+    report: DiagnosticReport
+    feasibility: FeasibilityResult
+    trace_events: int
+    runtime: "RisppRuntime | None" = None
+
+    def exit_code(self) -> int:
+        return self.report.exit_code()
+
+
+def _scenario_h264(*, quick: bool) -> "tuple[RisppRuntime, list[object]]":
+    from ..apps.h264 import build_h264_library
+    from ..bench.suites import H264_MACROBLOCK_CALLS, run_si_stream
+
+    library = build_h264_library()
+    forecasts = [
+        ("SATD_4x4", 256.0), ("DCT_4x4", 24.0),
+        ("HT_4x4", 1.0), ("HT_2x2", 2.0),
+    ]
+    runtime = run_si_stream(
+        library,
+        forecasts,
+        list(H264_MACROBLOCK_CALLS),
+        containers=6,
+        block_rounds=3 if quick else 8,
+        optimize=True,
+        energy_model=EnergyModel(),
+    )
+    for si_name, _ in forecasts:
+        runtime.forecast_end(si_name, runtime.trace.last_cycle)
+    runtime.advance(runtime.trace.last_cycle + 10_000_000)
+    return runtime, []
+
+
+def _scenario_aes(*, quick: bool) -> "tuple[RisppRuntime, list[object]]":
+    import warnings
+
+    from ..apps.aes import (
+        build_aes_library,
+        build_aes_program,
+        default_aes_fdfs,
+    )
+    from ..sim.integration import compile_and_run
+
+    del quick  # one AES run is already CI-sized
+
+    def env_factory(i: int) -> dict[str, bytes]:
+        return {
+            "plaintext": bytes([i % 256] * 16),
+            "key": bytes([(255 - i) % 256] * 16),
+        }
+
+    with warnings.catch_warnings():
+        # Library advisories (dominated molecules etc.) belong to `lint`.
+        warnings.simplefilter("ignore")
+        flow = compile_and_run(
+            build_aes_program(),
+            build_aes_library(),
+            default_aes_fdfs(),
+            containers=6,
+            profile_env_factory=env_factory,
+            run_env={"plaintext": b"\x21" * 16, "key": b"\x42" * 16},
+            profile_runs=2,
+            energy_model=EnergyModel(),
+        )
+    flow.runtime.advance(flow.runtime.trace.last_cycle + 10_000_000)
+    return flow.runtime, list(flow.annotation.all_points())
+
+
+def _scenario_synthetic(*, quick: bool) -> "tuple[RisppRuntime, list[object]]":
+    from ..bench.suites import build_synthetic_library
+    from ..runtime.manager import RisppRuntime
+
+    library = build_synthetic_library()
+    runtime = RisppRuntime(
+        library, 5, core_mhz=100.0, energy_model=EnergyModel()
+    )
+    forecasts = [("SI0", 16.0), ("SI1", 8.0), ("SI2", 4.0), ("SI3", 2.0)]
+    blocks = [("SI0", 16), ("SI1", 8), ("SI2", 4), ("SI3", 2)]
+    rounds = 6 if quick else 12
+    now = 10_000
+    for round_no in range(rounds):
+        for si_name, expected in forecasts:
+            runtime.forecast(si_name, now, expected=expected)
+        for si_name, calls in blocks:
+            for _ in range(calls):
+                now += runtime.execute_si(si_name, now)
+        if round_no == rounds // 2:
+            # Fault injection: the dropped/resequenced port queue and the
+            # replacement rotations must all verify too.
+            runtime.fail_container(1, now)
+            now += 1_000
+        # Inter-round gap sized so rotations (~58k-87k cycles each on the
+        # serial port) land mid-run and the SW -> HW upgrade is exercised.
+        now += 60_000
+    runtime.forecast_end("SI3", now)
+    runtime.advance(now + 10_000_000)
+    return runtime, []
+
+
+_SCENARIOS = {
+    "aes": _scenario_aes,
+    "h264": _scenario_h264,
+    "synthetic": _scenario_synthetic,
+}
+
+
+def run_verify_suite(name: str, *, quick: bool = False) -> VerifyResult:
+    """Run one shipped scenario, verify its trace, prove feasibility."""
+    try:
+        scenario = _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown verify suite {name!r}; choose from {sorted(_SCENARIOS)}"
+        ) from None
+    runtime, placements = scenario(quick=quick)
+    report = verify_runtime(runtime, subject=f"suite:{name}")
+    feasibility = prove_feasibility(
+        runtime.library,
+        len(runtime.fabric),
+        placements=placements,
+        core_mhz=runtime.port.core_mhz,
+        bytes_per_us=runtime.port.bytes_per_us,
+        subject=f"suite:{name}",
+    )
+    return VerifyResult(
+        suite=name,
+        report=report,
+        feasibility=feasibility,
+        trace_events=len(runtime.trace),
+        runtime=runtime,
+    )
+
+
+def verify_golden_result(golden: GoldenTrace) -> VerifyResult:
+    """Verify a golden trace and prove its library's feasibility."""
+    artifact = golden.artifact
+    report = verify_golden(golden)
+    feasibility = prove_feasibility(
+        artifact.library,
+        artifact.containers,
+        core_mhz=artifact.core_mhz,
+        bytes_per_us=artifact.bytes_per_us,
+        subject=artifact.subject,
+    )
+    return VerifyResult(
+        suite=golden.suite,
+        report=report,
+        feasibility=feasibility,
+        trace_events=len(list(artifact.events)),
+    )

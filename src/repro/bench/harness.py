@@ -11,8 +11,9 @@ on every push).  The schema is deliberately small and stable:
     suite              str     h264 | aes | synthetic
     quick              bool    reduced iteration counts (CI mode)
     python / platform  str     environment fingerprint
-    end_to_end         dict    baseline vs optimized wall time + speedup
-                               and the trace-equivalence verdict
+    end_to_end         dict    baseline vs optimized wall time + speedup,
+                               the trace-equivalence verdict and the
+                               rispp-verify replay verdict
     stages             list    per-stage micro-benchmarks
     totals             dict    aggregate wall time
 
@@ -166,6 +167,14 @@ def render_report(report: dict) -> str:
             + ("OK" if e2e.get("trace_equal") else "MISMATCH")
             + f" ({e2e.get('trace_events', 0)} events)"
         )
+        if "trace_verified" in e2e:
+            lines.append(
+                "  trace verification: "
+                + ("OK" if e2e.get("trace_verified") else "FAILED")
+                + f" ({len(e2e.get('verify_findings', []))} finding(s))"
+            )
+            for finding in e2e.get("verify_findings", []):
+                lines.append(f"    {finding}")
         lines.append("")
     if report.get("stages"):
         lines.append(f"{'stage':<24} {'wall [ms]':>12} {'throughput':>16}")

@@ -66,6 +66,7 @@ def run_si_stream(
     warmup_cycles: int = 700_000,
     inter_block_cycles: int = 5_000,
     optimize: bool,
+    energy_model=None,
 ) -> RisppRuntime:
     """Fire the loop-head forecasts, then execute the SI stream.
 
@@ -76,7 +77,10 @@ def run_si_stream(
     counts, the re-firings become steady-state no-op replans (the replan
     skip cache's main prey).
     """
-    rt = RisppRuntime(library, containers, core_mhz=100.0, optimize=optimize)
+    rt = RisppRuntime(
+        library, containers, core_mhz=100.0, optimize=optimize,
+        energy_model=energy_model,
+    )
     now = warmup_cycles
     for _ in range(block_rounds):
         for si_name, expected in forecasts:
@@ -86,6 +90,27 @@ def run_si_stream(
                 now += rt.execute_si(si_name, now)
         now += inter_block_cycles
     return rt
+
+
+def verify_equivalence(
+    baseline_rt: RisppRuntime, optimized_rt: RisppRuntime
+) -> dict:
+    """Replay both traces through rispp-verify's reference machine.
+
+    Signature equality alone would also bless a *pair* of traces that
+    agree on the same wrong behaviour; model-based verification closes
+    that hole, so "equivalent" means both traces satisfy the §3/§5
+    runtime invariants *and* their signatures match.
+    """
+    from ..analysis.verify import verify_runtime
+
+    baseline_report = verify_runtime(baseline_rt, subject="bench:baseline")
+    optimized_report = verify_runtime(optimized_rt, subject="bench:optimized")
+    findings = baseline_report.errors() + optimized_report.errors()
+    return {
+        "trace_verified": not findings,
+        "verify_findings": [d.render() for d in findings],
+    }
 
 
 def end_to_end_stage(
@@ -113,6 +138,7 @@ def end_to_end_stage(
         "cycles_per_sec": round(simulated / optimized_s, 1)
         if optimized_s
         else 0.0,
+        **verify_equivalence(baseline_rt, optimized_rt),
     }
 
 
@@ -363,6 +389,7 @@ def run_aes(*, quick: bool = False) -> dict:
         )
         if optimized_s
         else 0.0,
+        **verify_equivalence(baseline.runtime, optimized.runtime),
     }
     forecasts = [("SUBBYTES", 10.0), ("MIXCOL", 9.0), ("KEYEXP", 10.0)]
     stages = micro_stages(

@@ -4,6 +4,9 @@
 ``python -m repro fig12`` (etc.) prints the regenerated artifact;
 ``python -m repro lint`` statically checks the shipped artifacts with
 rispp-lint (see :mod:`repro.analysis`);
+``python -m repro verify`` replays simulation traces against the formal
+reference machine and proves worst-case rotation-latency bounds with
+rispp-verify (see :mod:`repro.analysis.verify`);
 ``python -m repro bench`` times the end-to-end flows and run-time hot
 paths and emits ``BENCH_runtime.json`` (see :mod:`repro.bench`).
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
@@ -185,12 +188,55 @@ EXPERIMENTS = {
 }
 
 
+def _rule_epilog(families: tuple[str, ...]) -> str:
+    """The rule catalogue of the given families, for ``--help`` epilogs."""
+    from .analysis import RULES
+
+    lines = [
+        "rule IDs (--select/--ignore take comma-separated IDs or prefixes,",
+        "e.g. --ignore TRC008 or --select TRC):",
+    ]
+    for rule_id, rule in sorted(RULES.items()):
+        if rule.family in families:
+            lines.append(f"  {rule_id}  [{rule.severity}] {rule.title}")
+    return "\n".join(lines)
+
+
+def _add_selector_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--select", metavar="RULE[,RULE]", default=None,
+        help="report only these rule IDs/prefixes (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULE[,RULE]", default=None,
+        help="drop these rule IDs/prefixes (applied after --select)",
+    )
+
+
+def _resolve_selectors(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> "tuple[set[str] | None, set[str] | None]":
+    from .analysis import expand_selectors
+
+    select = ignore = None
+    try:
+        if args.select is not None:
+            select = expand_selectors(args.select.split(","))
+        if args.ignore is not None:
+            ignore = expand_selectors(args.ignore.split(","))
+    except ValueError as exc:
+        parser.error(str(exc))
+    return select, ignore
+
+
 def _lint(argv: list[str]) -> int:
     from .analysis import BUILTIN_SUBJECTS, lint_builtin
 
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Statically check the shipped RISPP artifacts (rispp-lint).",
+        epilog=_rule_epilog(("lattice", "library", "cfg", "forecast", "schedule")),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -204,13 +250,83 @@ def _lint(argv: list[str]) -> int:
         "--subject", action="append", choices=BUILTIN_SUBJECTS, default=None,
         help="restrict to one case study (repeatable; default: all)",
     )
+    _add_selector_args(parser)
     args = parser.parse_args(argv)
     if args.containers is not None and args.containers < 0:
         parser.error(f"--containers must be non-negative, got {args.containers}")
+    select, ignore = _resolve_selectors(parser, args)
     report = lint_builtin(
         args.subject or BUILTIN_SUBJECTS, containers=args.containers
-    )
+    ).filtered(select=select, ignore=ignore)
     print(report.to_json() if args.format == "json" else report.render_text())
+    return report.exit_code()
+
+
+def _verify(argv: list[str]) -> int:
+    from .analysis import (
+        load_golden,
+        run_verify_suite,
+        verify_golden_result,
+    )
+    from .analysis.verify import VERIFY_SUITES, golden_from_runtime, write_golden
+
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description=(
+            "Replay a simulation trace against the formal RISPP reference "
+            "machine and statically prove worst-case rotation-latency "
+            "bounds (rispp-verify)."
+        ),
+        epilog=_rule_epilog(("trace", "feasibility")),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="verify a golden-trace JSON file instead of running a suite",
+    )
+    source.add_argument(
+        "--suite", choices=sorted(VERIFY_SUITES), default="synthetic",
+        help="run + verify one shipped scenario (default: synthetic)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scenario sizes (CI mode)",
+    )
+    parser.add_argument(
+        "--emit-golden", metavar="PATH", default=None,
+        help="write the verified suite run as a golden-trace JSON file",
+    )
+    _add_selector_args(parser)
+    args = parser.parse_args(argv)
+    select, ignore = _resolve_selectors(parser, args)
+    if args.trace is not None:
+        if args.emit_golden:
+            parser.error("--emit-golden requires a --suite run")
+        try:
+            golden = load_golden(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load golden trace {args.trace!r}: {exc}")
+        result = verify_golden_result(golden)
+    else:
+        result = run_verify_suite(args.suite, quick=args.quick)
+    report = result.report.merge(result.feasibility.report).filtered(
+        select=select, ignore=ignore
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(tool="rispp-verify"))
+    if args.emit_golden and result.runtime is not None:
+        write_golden(
+            golden_from_runtime(result.runtime, suite=result.suite),
+            args.emit_golden,
+        )
+        print(f"golden trace written to {args.emit_golden}", file=sys.stderr)
     return report.exit_code()
 
 
@@ -242,18 +358,21 @@ def _bench(argv: list[str]) -> int:
     if args.json:
         write_report(report, args.json)
         print(f"\nreport written to {args.json}")
-    # A trace mismatch means an optimization changed event semantics —
-    # that is a correctness failure, not a performance number.
-    return 0 if report["end_to_end"].get("trace_equal", True) else 1
+    # A trace mismatch means an optimization changed event semantics, and
+    # a verification failure means a trace broke the reference-machine
+    # invariants — both are correctness failures, not performance numbers.
+    e2e = report["end_to_end"]
+    ok = e2e.get("trace_equal", True) and e2e.get("trace_verified", True)
+    return 0 if ok else 1
 
 
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
     return (
-        "usage: repro {list | all | lint | bench | <experiment>}\n"
+        "usage: repro {list | all | lint | verify | bench | <experiment>}\n"
         f"experiments: {names}\n"
-        "run 'repro list' for descriptions, 'repro lint --help' for lint "
-        "flags, 'repro bench --help' for bench flags"
+        "run 'repro list' for descriptions; 'repro lint --help', "
+        "'repro verify --help' and 'repro bench --help' for tool flags"
     )
 
 
@@ -265,6 +384,8 @@ def main(argv: list[str] | None = None) -> int:
     command, rest = args[0], args[1:]
     if command == "lint":
         return _lint(rest)
+    if command == "verify":
+        return _verify(rest)
     if command == "bench":
         return _bench(rest)
     if rest:
@@ -286,7 +407,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     hint = ""
     close = difflib.get_close_matches(
-        command, [*EXPERIMENTS, "list", "all", "lint", "bench"], n=1
+        command, [*EXPERIMENTS, "list", "all", "lint", "verify", "bench"], n=1
     )
     if close:
         hint = f" (did you mean {close[0]!r}?)"

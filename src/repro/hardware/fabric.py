@@ -43,6 +43,7 @@ class Fabric:
             raise ValueError("static atoms need multiplicity of at least 1")
         self.catalogue = catalogue
         self.space = catalogue.space
+        self.static_multiplicity = static_multiplicity
         self.containers = [AtomContainer(i) for i in range(num_containers)]
         # The static fabric offers its helper atoms at full multiplicity
         # and a baseline of some reconfigurable kinds (e.g. one built-in

@@ -162,6 +162,7 @@ def compile_and_run(
     core_mhz: float = 100.0,
     lint: bool = True,
     optimize: bool = True,
+    energy_model=None,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
@@ -185,7 +186,8 @@ def compile_and_run(
         # on fewer (even zero) containers is a valid pure-SW baseline.
         _enforce(lint_flow(cfg, library, annotation, fdfs=fdfs, subject="flow"))
     runtime = RisppRuntime(
-        library, containers, core_mhz=core_mhz, optimize=optimize
+        library, containers, core_mhz=core_mhz, optimize=optimize,
+        energy_model=energy_model,
     )
     result = run_annotated_program(
         program, annotation, runtime, dict(run_env or {}), lint=False

@@ -161,6 +161,8 @@ class Trace:
         return iter(self.events)
 
     def of_kind(self, kind: EventKind) -> list[Event]:
+        # Matches on the slot attributes only — never touches (and thus
+        # never materializes) a lazy ``Event.detail``.
         return [e for e in self.events if e.kind is kind]
 
     def for_task(self, task: str) -> list[Event]:
@@ -170,11 +172,22 @@ class Trace:
         return [e for e in self.events if e.si == si]
 
     def first(self, kind: EventKind, **detail_filter) -> Event | None:
-        """Earliest event of ``kind`` whose detail matches the filter."""
+        """Earliest event of ``kind`` whose detail matches the filter.
+
+        Without a detail filter the scan stays on the slot attributes,
+        so no lazy detail factory is ever resolved; with one, only the
+        details of same-kind events up to the first match materialize.
+        """
+        if not detail_filter:
+            for e in self.events:
+                if e.kind is kind:
+                    return e
+            return None
+        items = tuple(detail_filter.items())
         for e in self.events:
             if e.kind is not kind:
                 continue
-            if all(e.detail.get(k) == v for k, v in detail_filter.items()):
+            if all(e.detail.get(k) == v for k, v in items):
                 return e
         return None
 

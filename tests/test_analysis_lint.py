@@ -109,7 +109,10 @@ class TestDiagnostics:
 
 class TestRuleCatalogue:
     def test_every_rule_has_family_and_severity(self):
-        families = {"lattice", "library", "cfg", "forecast", "schedule"}
+        families = {
+            "lattice", "library", "cfg", "forecast", "schedule",
+            "trace", "feasibility",
+        }
         for rule in RULES.values():
             assert rule.family in families
             assert rule.severity in (Severity.INFO, Severity.WARNING, Severity.ERROR)

@@ -25,6 +25,7 @@ REPORT_KEYS = {
 END_TO_END_KEYS = {
     "scenario", "baseline_s", "optimized_s", "speedup", "trace_equal",
     "trace_events", "si_executions", "simulated_cycles", "cycles_per_sec",
+    "trace_verified", "verify_findings",
 }
 STAGE_KEYS = {
     "name", "wall_s", "iterations", "repeats", "throughput", "unit", "extra",
@@ -88,6 +89,8 @@ class TestSuites:
     ):
         e2e = synthetic_report["end_to_end"]
         assert e2e["trace_equal"] is True
+        assert e2e["trace_verified"] is True, e2e["verify_findings"]
+        assert e2e["verify_findings"] == []
         assert e2e["trace_events"] > 0
         assert e2e["speedup"] > 0
         assert e2e["si_executions"] > 0

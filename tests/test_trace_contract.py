@@ -76,6 +76,40 @@ class TestTraceContract:
         with pytest.raises(ValueError, match="out-of-order"):
             trace.record_lazy(49, EventKind.SI_EXECUTED, dict)
 
+    def test_queries_without_detail_filter_never_materialize(self):
+        # Regression: accessor scans must stay on the slot attributes so
+        # PR 2's lazy-detail win survives analysis workloads — a kind- or
+        # si-keyed query has no business resolving detail factories.
+        trace = Trace()
+        constructions = []
+
+        def factory(i):
+            def build():
+                constructions.append(i)
+                return {"mode": "HW", "cycles": 12, "container": i % 3}
+
+            return build
+
+        for i in range(20):
+            trace.record_lazy(
+                i, EventKind.SI_EXECUTED, factory(i), task="t", si="HT"
+            )
+            trace.record_lazy(
+                i, EventKind.ROTATION_REQUESTED, factory(100 + i), task="t"
+            )
+        assert len(trace.of_kind(EventKind.SI_EXECUTED)) == 20
+        assert len(trace.for_task("t")) == 40
+        assert len(trace.for_si("HT")) == 20
+        found = trace.first(EventKind.ROTATION_REQUESTED)
+        assert found is not None and found.cycle == 0
+        assert trace.first(EventKind.CONTAINER_FAILED) is None
+        assert constructions == []  # nothing materialized
+        # A detail filter materializes only same-kind events up to the
+        # first match — never the other kind's details.
+        match = trace.first(EventKind.ROTATION_REQUESTED, container=2)
+        assert match is not None and match.cycle == 1  # 101 % 3 == 2
+        assert constructions == [100, 101]
+
     @given(st.lists(st.integers(min_value=0, max_value=50), max_size=30))
     def test_monotone_sequences_always_accepted(self, deltas):
         trace = Trace()
