@@ -1,4 +1,4 @@
-"""Static worst-case rotation-latency prover (rules FEA001..FEA004).
+"""Static worst-case rotation-latency prover (rules FEA001..FEA005).
 
 From a molecule library, an Atom Container budget and (optionally) a
 Forecast placement alone — *no simulation* — the prover derives:
@@ -180,6 +180,7 @@ def prove_feasibility(
     placements: object = (),
     core_mhz: float = 100.0,
     bytes_per_us: float | None = None,
+    survivable_failures: int | None = None,
     subject: str = "",
 ) -> FeasibilityResult:
     """Run the static prover; returns bounds plus a diagnostic report.
@@ -187,10 +188,16 @@ def prove_feasibility(
     ``placements`` is a sequence of
     :class:`~repro.forecast.placement.ForecastPoint` (anything exposing
     ``si_name``, ``block_id`` and ``distance``); it unlocks the FEA001
-    starvation rule.
+    starvation rule.  ``survivable_failures`` (``k``) unlocks the FEA005
+    degraded-mode rule: with ``k`` containers lost to faults, the
+    remaining ``containers - k`` must still hold every forecast SI's
+    largest loadable molecule, or a chaos run silently degrades to
+    all-software execution.
     """
     if containers < 0:
         raise ValueError("container count cannot be negative")
+    if survivable_failures is not None and survivable_failures < 0:
+        raise ValueError("survivable-failure budget cannot be negative")
     table = rotation_cycle_table(
         library, core_mhz=core_mhz, bytes_per_us=bytes_per_us
     )
@@ -304,6 +311,46 @@ def prove_feasibility(
                 min_upgrade_cycles=bound.min_upgrade_cycles,
             ))
 
+    # Degraded-mode feasibility: after k container failures the surviving
+    # fabric must still hold each (forecast) SI's largest loadable
+    # molecule — otherwise a chaos run quietly falls back to software.
+    if survivable_failures is not None:
+        degraded = containers - survivable_failures
+        forecast_sis = sorted(
+            {
+                name
+                for name in (
+                    getattr(point, "si_name", None)
+                    for point in placements  # type: ignore[attr-defined]
+                )
+                if name is not None and name in library
+            }
+        ) or sorted(si.name for si in library)
+        loadable_by_si: dict[str, list[MoleculeFeasibility]] = {}
+        for verdict in molecules:
+            if verdict.loadable:
+                loadable_by_si.setdefault(verdict.si_name, []).append(verdict)
+        for si_name in forecast_sis:
+            best = loadable_by_si.get(si_name)
+            if not best:
+                continue  # no loadable molecule at all: FEA002/FEA004 cover it
+            largest = max(best, key=lambda m: (m.container_demand, -m.cycles))
+            if largest.container_demand > degraded:
+                report.append(diag(
+                    "FEA005",
+                    f"SI {si_name!r}: largest loadable molecule needs "
+                    f"{largest.container_demand} containers, but surviving "
+                    f"{survivable_failures} container failure(s) leaves only "
+                    f"{degraded} of {containers} — the fabric degrades below "
+                    "the SI's full hardware molecule",
+                    subject=subject,
+                    location=f"SI {si_name}",
+                    si=si_name,
+                    container_demand=largest.container_demand,
+                    degraded_containers=degraded,
+                    survivable_failures=survivable_failures,
+                ))
+
     return FeasibilityResult(
         containers=containers,
         max_rotation_cycles=max_rot,
@@ -338,6 +385,7 @@ def check_feasibility(
         placements=artifact.placements,
         core_mhz=artifact.core_mhz,
         bytes_per_us=artifact.bytes_per_us,
+        survivable_failures=artifact.survivable_failures,
         subject=subject,
     )
     yield from result.report

@@ -44,6 +44,11 @@ _ENTRY_KINDS = frozenset(
         EventKind.SI_EXECUTED,
         EventKind.SI_MODE_SWITCH,
         EventKind.CONTAINER_FAILED,
+        EventKind.FAULT_INJECTED,
+        EventKind.FAULT_DETECTED,
+        EventKind.CONTAINER_QUARANTINED,
+        EventKind.CONTAINER_REPAIRED,
+        EventKind.ROTATION_RETRIED,
     }
 )
 
@@ -56,6 +61,12 @@ class _ContainerState:
     atom: str | None = None
     loading: str | None = None
     failed: bool = False
+    #: Silent SEU corruption (the atom still serves; see TRC014/TRC015).
+    corrupted: bool = False
+    #: The scrubber reported the corruption (FAULT_DETECTED seen).
+    detected: bool = False
+    #: Out of service pending a repair rotation.
+    quarantined: bool = False
 
 
 @dataclass
@@ -70,6 +81,8 @@ class _ReplayJob:
     started: bool = False
     completed: bool = False
     reported: bool = False
+    #: Repair rotation allowed to target a quarantined container.
+    repair: bool = False
 
     @property
     def duration(self) -> int:
@@ -159,6 +172,9 @@ class ReferenceMachine:
         self._last_mode: dict[tuple[str, str], str] = {}
         self._pending_switch: dict[tuple[str, str], _PendingSwitch] = {}
         self._accounting = _Accounting()
+        #: Open quarantines awaiting repair or retirement, by container id
+        #: (value: the cycle the quarantine opened) — TRC014 at finish().
+        self._open_quarantines: dict[int, int] = {}
         self.findings: list[Diagnostic] = []
 
     # -- public driver ----------------------------------------------------
@@ -215,6 +231,15 @@ class ReferenceMachine:
                     finish=job.finish_at,
                 )
                 job.reported = True
+        for container_id, opened in sorted(self._open_quarantines.items()):
+            self._emit(
+                "TRC014",
+                f"container {container_id} was quarantined at cycle {opened} "
+                "and never repaired or retired by the end of the trace",
+                location=f"container {container_id}",
+                container=container_id,
+                quarantined_at=opened,
+            )
         self._check_totals()
 
     # -- reconstructed state ----------------------------------------------
@@ -224,7 +249,11 @@ class ReferenceMachine:
         if self._available is None:
             counts = dict(self._static_counts)
             for cont in self._containers:
-                if cont.atom is not None and not cont.failed:
+                if (
+                    cont.atom is not None
+                    and not cont.failed
+                    and not cont.quarantined
+                ):
                     counts[cont.atom] = counts.get(cont.atom, 0) + 1
             self._available = self._space.molecule(counts)
         return self._available
@@ -256,8 +285,20 @@ class ReferenceMachine:
                 and (next_finish is None or next_start <= next_finish)
             ):
                 cont = self._containers[start_job.container_id]
+                if cont.quarantined and not start_job.repair:
+                    self._emit(
+                        "TRC015",
+                        f"rotation of {start_job.atom!r} starts on quarantined "
+                        f"container {start_job.container_id} at cycle "
+                        f"{start_job.started_at} without being a repair",
+                        location=f"container {start_job.container_id}",
+                        container=start_job.container_id,
+                        atom=start_job.atom,
+                    )
                 cont.atom = None
                 cont.loading = start_job.atom
+                cont.corrupted = False
+                cont.detected = False
                 start_job.started = True
                 self._available = None
             elif finish_job is not None and next_finish is not None and next_finish <= cycle:
@@ -307,6 +348,16 @@ class ReferenceMachine:
             self._on_si_executed(index, cycle, event)
         elif kind is EventKind.CONTAINER_FAILED:
             self._on_container_failed(index, cycle, event)
+        elif kind is EventKind.FAULT_INJECTED:
+            self._on_fault_injected(index, cycle, event)
+        elif kind is EventKind.FAULT_DETECTED:
+            self._on_fault_detected(index, cycle, event)
+        elif kind is EventKind.CONTAINER_QUARANTINED:
+            self._on_container_quarantined(index, cycle, event)
+        elif kind is EventKind.CONTAINER_REPAIRED:
+            self._on_container_repaired(index, cycle, event)
+        elif kind is EventKind.ROTATION_RETRIED:
+            self._on_rotation_retried(index, cycle, event)
         # TASK_STEP and future kinds are neutral: only the clock matters.
 
     def _on_forecast(self, index: int, event: Event) -> None:
@@ -379,12 +430,23 @@ class ReferenceMachine:
             return
         assert isinstance(container_id, int)
         cont = self._containers[container_id]
+        repair = bool(detail.get("repair"))
         if cont.failed:
             self._emit(
                 "TRC003",
                 f"rotation of {atom!r} targets failed container {container_id}",
                 location=where,
                 container=container_id,
+            )
+            return
+        if cont.quarantined and not repair:
+            self._emit(
+                "TRC015",
+                f"rotation of {atom!r} targets quarantined container "
+                f"{container_id} without being a repair",
+                location=where,
+                container=container_id,
+                atom=atom,
             )
             return
         if any(j.container_id == container_id for j in self._pending):
@@ -454,6 +516,7 @@ class ReferenceMachine:
                 requested_at=cycle,
                 started_at=starts,
                 finish_at=finishes,
+                repair=repair,
             )
         )
         self._busy_until = max(self._busy_until, finishes)
@@ -687,6 +750,11 @@ class ReferenceMachine:
         cont.failed = True
         cont.atom = None
         cont.loading = None
+        cont.corrupted = False
+        cont.detected = False
+        cont.quarantined = False
+        # Retirement resolves an open quarantine (repair became moot).
+        self._open_quarantines.pop(container_id, None)
         self._available = None
         self._drop_and_resequence(container_id, cycle)
 
@@ -698,6 +766,11 @@ class ReferenceMachine:
             return
         for job in dropped:
             self._pending.remove(job)
+        self._resequence(now)
+
+    def _resequence(self, now: int) -> None:
+        """Mirror of ``ReconfigurationPort._resequence``: unstarted jobs
+        close the port gap left by dropped or aborted writes."""
         cursor = now
         for job in sorted(self._pending, key=lambda j: j.started_at):
             if job.started:
@@ -709,6 +782,243 @@ class ReferenceMachine:
             cursor = job.finish_at
         self._busy_until = cursor
         self._advance_to(self._clock)
+
+    # -- fault events -------------------------------------------------------
+
+    def _on_fault_injected(self, index: int, cycle: int, event: Event) -> None:
+        detail = event.detail
+        effect = detail.get("effect")
+        where = f"event {index}"
+        if effect == "none":
+            return
+        container_id = detail.get("container")
+        if not self._valid_container(container_id):
+            self._emit(
+                "TRC014",
+                f"fault injection names container {container_id!r} "
+                f"(platform has {len(self._containers)})",
+                location=where,
+                container=container_id,
+            )
+            return
+        assert isinstance(container_id, int)
+        cont = self._containers[container_id]
+        if effect == "corrupted":
+            if (
+                cont.atom is None
+                or cont.failed
+                or cont.quarantined
+                or cont.corrupted
+            ):
+                self._emit(
+                    "TRC014",
+                    f"transient fault claims to corrupt container "
+                    f"{container_id}, which holds no healthy loaded atom",
+                    location=where,
+                    container=container_id,
+                )
+                return
+            atom = detail.get("atom")
+            if atom != cont.atom:
+                self._emit(
+                    "TRC014",
+                    f"transient fault in container {container_id} claims atom "
+                    f"{atom!r} but the replayed state holds {cont.atom!r}",
+                    location=where,
+                    container=container_id,
+                    claimed=atom,
+                    actual=cont.atom,
+                )
+            cont.corrupted = True
+        elif effect == "write_aborted":
+            job = next(
+                (j for j in self._pending if j.container_id == container_id),
+                None,
+            )
+            if (
+                job is None
+                or not job.started
+                or job.completed
+                or not job.started_at <= cycle < job.finish_at
+            ):
+                self._emit(
+                    "TRC014",
+                    f"write abort on container {container_id} at cycle "
+                    f"{cycle} matches no bitstream write in flight",
+                    location=where,
+                    container=container_id,
+                )
+                return
+            self._pending.remove(job)
+            cont.loading = None
+            self._available = None
+            self._resequence(cycle)
+        elif effect == "failed":
+            # The CONTAINER_FAILED event that follows performs the state
+            # change; the injection record itself is informational.
+            pass
+        else:
+            self._emit(
+                "TRC014",
+                f"fault injection carries unknown effect {effect!r}",
+                location=where,
+                effect=effect,
+            )
+
+    def _on_fault_detected(self, index: int, cycle: int, event: Event) -> None:
+        detail = event.detail
+        container_id = detail.get("container")
+        where = f"event {index}"
+        if not self._valid_container(container_id):
+            self._emit(
+                "TRC014",
+                f"fault detection names container {container_id!r} "
+                f"(platform has {len(self._containers)})",
+                location=where,
+                container=container_id,
+            )
+            return
+        assert isinstance(container_id, int)
+        cont = self._containers[container_id]
+        if not cont.corrupted:
+            self._emit(
+                "TRC014",
+                f"scrubber reports a fault in container {container_id} at "
+                f"cycle {cycle}, but no silent corruption is open there",
+                location=where,
+                container=container_id,
+            )
+            return
+        atom = detail.get("atom")
+        if atom != cont.atom:
+            self._emit(
+                "TRC014",
+                f"fault detection in container {container_id} claims atom "
+                f"{atom!r} but the replayed state holds {cont.atom!r}",
+                location=where,
+                container=container_id,
+                claimed=atom,
+                actual=cont.atom,
+            )
+        cont.detected = True
+
+    def _on_container_quarantined(
+        self, index: int, cycle: int, event: Event
+    ) -> None:
+        detail = event.detail
+        container_id = detail.get("container")
+        where = f"event {index}"
+        if not self._valid_container(container_id):
+            self._emit(
+                "TRC014",
+                f"quarantine names container {container_id!r} "
+                f"(platform has {len(self._containers)})",
+                location=where,
+                container=container_id,
+            )
+            return
+        assert isinstance(container_id, int)
+        cont = self._containers[container_id]
+        if not cont.detected:
+            self._emit(
+                "TRC014",
+                f"container {container_id} is quarantined at cycle {cycle} "
+                "without a preceding fault detection",
+                location=where,
+                container=container_id,
+            )
+        atom = detail.get("atom")
+        if cont.detected and atom != cont.atom:
+            self._emit(
+                "TRC014",
+                f"quarantine of container {container_id} claims to drop atom "
+                f"{atom!r} but the replayed state holds {cont.atom!r}",
+                location=where,
+                container=container_id,
+                claimed=atom,
+                actual=cont.atom,
+            )
+        # Follow the trace's claim either way so replay stays coherent.
+        cont.atom = None
+        cont.corrupted = False
+        cont.detected = False
+        cont.quarantined = True
+        self._open_quarantines[container_id] = cycle
+        self._available = None
+        # A rotation the planner already queued into this container is
+        # adopted as the repair (it overwrites the bad configuration).
+        for job in self._pending:
+            if job.container_id == container_id:
+                job.repair = True
+
+    def _on_container_repaired(
+        self, index: int, cycle: int, event: Event
+    ) -> None:
+        detail = event.detail
+        container_id = detail.get("container")
+        where = f"event {index}"
+        if not self._valid_container(container_id):
+            self._emit(
+                "TRC014",
+                f"repair names container {container_id!r} "
+                f"(platform has {len(self._containers)})",
+                location=where,
+                container=container_id,
+            )
+            return
+        assert isinstance(container_id, int)
+        cont = self._containers[container_id]
+        if not cont.quarantined:
+            self._emit(
+                "TRC014",
+                f"container {container_id} is reported repaired at cycle "
+                f"{cycle} but was not quarantined",
+                location=where,
+                container=container_id,
+            )
+            return
+        if cont.atom is None:
+            self._emit(
+                "TRC014",
+                f"container {container_id} is reported repaired at cycle "
+                f"{cycle} but no repair rotation has completed there",
+                location=where,
+                container=container_id,
+            )
+        cont.quarantined = False
+        self._open_quarantines.pop(container_id, None)
+        self._available = None
+
+    def _on_rotation_retried(self, index: int, cycle: int, event: Event) -> None:
+        detail = event.detail
+        container_id = detail.get("container")
+        attempt = detail.get("attempt")
+        retry_at = detail.get("retry_at")
+        where = f"event {index}"
+        if not self._valid_container(container_id):
+            self._emit(
+                "TRC014",
+                f"rotation retry names container {container_id!r} "
+                f"(platform has {len(self._containers)})",
+                location=where,
+                container=container_id,
+            )
+            return
+        if not isinstance(attempt, int) or attempt < 1:
+            self._emit(
+                "TRC014",
+                f"rotation retry carries malformed attempt {attempt!r}",
+                location=where,
+                attempt=attempt,
+            )
+        elif not isinstance(retry_at, int) or retry_at <= cycle:
+            self._emit(
+                "TRC014",
+                f"rotation retry at cycle {cycle} is due at {retry_at!r}; "
+                "backoff must land strictly in the future",
+                location=where,
+                retry_at=retry_at,
+            )
 
     # -- totals ------------------------------------------------------------
 

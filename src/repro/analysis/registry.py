@@ -173,6 +173,10 @@ _rule("TRC012", "trace", Severity.ERROR,
       "forecast carries an invalid expectation or priority", "§4.2")
 _rule("TRC013", "trace", Severity.ERROR,
       "SI did not execute the best available molecule", "§5")
+_rule("TRC014", "trace", Severity.ERROR,
+      "fault/recovery lifecycle inconsistent with the replayed state", "§5")
+_rule("TRC015", "trace", Severity.ERROR,
+      "quarantined Atom Container serves work", "§5")
 
 # -- feasibility family (§4/§5): static worst-case rotation guarantees ------
 _rule("FEA001", "feasibility", Severity.WARNING,
@@ -183,6 +187,8 @@ _rule("FEA003", "feasibility", Severity.WARNING,
       "atom kind only used by unloadable molecules", "§3")
 _rule("FEA004", "feasibility", Severity.INFO,
       "worst-case rotation latency bound", "§5")
+_rule("FEA005", "feasibility", Severity.WARNING,
+      "degraded fabric cannot hold an SI's largest hardware molecule", "§5")
 
 
 def rule(rule_id: str) -> Rule:
@@ -340,6 +346,9 @@ class FeasibilityArtifact:
     placements: "Sequence[ForecastPoint]" = ()
     core_mhz: float = 100.0
     bytes_per_us: "float | None" = None
+    #: Survivable-failure budget for the FEA005 degraded-mode rule;
+    #: ``None`` disables the rule.
+    survivable_failures: "int | None" = None
     subject: str = ""
 
     def __post_init__(self) -> None:

@@ -335,7 +335,12 @@ _SCENARIOS = {
 }
 
 
-def run_verify_suite(name: str, *, quick: bool = False) -> VerifyResult:
+def run_verify_suite(
+    name: str,
+    *,
+    quick: bool = False,
+    survivable_failures: int | None = None,
+) -> VerifyResult:
     """Run one shipped scenario, verify its trace, prove feasibility."""
     try:
         scenario = _SCENARIOS[name]
@@ -351,6 +356,7 @@ def run_verify_suite(name: str, *, quick: bool = False) -> VerifyResult:
         placements=placements,
         core_mhz=runtime.port.core_mhz,
         bytes_per_us=runtime.port.bytes_per_us,
+        survivable_failures=survivable_failures,
         subject=f"suite:{name}",
     )
     return VerifyResult(

@@ -67,6 +67,7 @@ def run_si_stream(
     inter_block_cycles: int = 5_000,
     optimize: bool,
     energy_model=None,
+    fault_injector=None,
 ) -> RisppRuntime:
     """Fire the loop-head forecasts, then execute the SI stream.
 
@@ -79,7 +80,7 @@ def run_si_stream(
     """
     rt = RisppRuntime(
         library, containers, core_mhz=100.0, optimize=optimize,
-        energy_model=energy_model,
+        energy_model=energy_model, faults=fault_injector,
     )
     now = warmup_cycles
     for _ in range(block_rounds):

@@ -8,7 +8,10 @@ rispp-lint (see :mod:`repro.analysis`);
 reference machine and proves worst-case rotation-latency bounds with
 rispp-verify (see :mod:`repro.analysis.verify`);
 ``python -m repro bench`` times the end-to-end flows and run-time hot
-paths and emits ``BENCH_runtime.json`` (see :mod:`repro.bench`).
+paths and emits ``BENCH_runtime.json`` (see :mod:`repro.bench`);
+``python -m repro chaos`` runs a seeded fault-injection campaign with
+scrubbing-based recovery and reports resilience metrics (see
+:mod:`repro.faults`).
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 *asserts* the reproduction criteria; this CLI is the quick look.
 """
@@ -301,9 +304,19 @@ def _verify(argv: list[str]) -> int:
         "--emit-golden", metavar="PATH", default=None,
         help="write the verified suite run as a golden-trace JSON file",
     )
+    parser.add_argument(
+        "--survivable-failures", type=int, metavar="K", default=None,
+        help=(
+            "also prove degraded-mode feasibility (FEA005): the fabric "
+            "minus K failed containers must still hold every forecast "
+            "SI's largest molecule"
+        ),
+    )
     _add_selector_args(parser)
     args = parser.parse_args(argv)
     select, ignore = _resolve_selectors(parser, args)
+    if args.survivable_failures is not None and args.survivable_failures < 0:
+        parser.error("--survivable-failures cannot be negative")
     if args.trace is not None:
         if args.emit_golden:
             parser.error("--emit-golden requires a --suite run")
@@ -313,7 +326,11 @@ def _verify(argv: list[str]) -> int:
             parser.error(f"cannot load golden trace {args.trace!r}: {exc}")
         result = verify_golden_result(golden)
     else:
-        result = run_verify_suite(args.suite, quick=args.quick)
+        result = run_verify_suite(
+            args.suite,
+            quick=args.quick,
+            survivable_failures=args.survivable_failures,
+        )
     report = result.report.merge(result.feasibility.report).filtered(
         select=select, ignore=ignore
     )
@@ -366,13 +383,98 @@ def _bench(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _chaos(argv: list[str]) -> int:
+    import json
+
+    from .faults import (
+        CHAOS_SUITES,
+        chaos_ok,
+        render_chaos_report,
+        run_chaos_suite,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Run a seeded fault-injection campaign over one shipped suite: "
+            "inject transient SEUs, mid-write bitstream errors and "
+            "permanent defects, recover via scrubbing/quarantine/repair, "
+            "verify the trace and report resilience metrics. Deterministic: "
+            "same seed, byte-identical report."
+        ),
+    )
+    parser.add_argument(
+        "--suite", choices=sorted(CHAOS_SUITES), default="synthetic",
+        help="workload to fuzz (default: synthetic)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fault-schedule seed (default: 0)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=5.0, metavar="R",
+        help="expected faults per million cycles (default: 5.0)",
+    )
+    parser.add_argument(
+        "--scrub-period", type=int, default=10_000, metavar="CYCLES",
+        help="readback-scrubber pass period (default: 10000)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="bitstream write retries before giving up (default: 3)",
+    )
+    parser.add_argument(
+        "--backoff-cycles", type=int, default=1_000, metavar="CYCLES",
+        help="base retry backoff; doubles per attempt (default: 1000)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scenario sizes (CI mode)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report output format (default: text)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the report as JSON (e.g. CHAOS_synthetic.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.fault_rate < 0:
+        parser.error(f"--fault-rate must be non-negative, got {args.fault_rate}")
+    try:
+        report = run_chaos_suite(
+            args.suite,
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            quick=args.quick,
+            scrub_period=args.scrub_period,
+            max_retries=args.max_retries,
+            backoff_cycles=args.backoff_cycles,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    rendered_json = json.dumps(report, indent=2, sort_keys=True)
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print(render_chaos_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(rendered_json)
+            fh.write("\n")
+        print(f"report written to {args.json}", file=sys.stderr)
+    return 0 if chaos_ok(report) else 1
+
+
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
     return (
-        "usage: repro {list | all | lint | verify | bench | <experiment>}\n"
+        "usage: repro {list | all | lint | verify | bench | chaos | <experiment>}\n"
         f"experiments: {names}\n"
         "run 'repro list' for descriptions; 'repro lint --help', "
-        "'repro verify --help' and 'repro bench --help' for tool flags"
+        "'repro verify --help', 'repro bench --help' and "
+        "'repro chaos --help' for tool flags"
     )
 
 
@@ -388,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
         return _verify(rest)
     if command == "bench":
         return _bench(rest)
+    if command == "chaos":
+        return _chaos(rest)
     if rest:
         print(f"repro {command}: unexpected arguments {rest}", file=sys.stderr)
         return 2
@@ -407,7 +511,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     hint = ""
     close = difflib.get_close_matches(
-        command, [*EXPERIMENTS, "list", "all", "lint", "verify", "bench"], n=1
+        command,
+        [*EXPERIMENTS, "list", "all", "lint", "verify", "bench", "chaos"],
+        n=1,
     )
     if close:
         hint = f" (did you mean {close[0]!r}?)"

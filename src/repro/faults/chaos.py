@@ -1,0 +1,349 @@
+"""Chaos runs: seeded fault campaigns over the shipped suites.
+
+``run_chaos_suite`` drives one of the three repository workloads
+(``aes``/``h264``/``synthetic``) twice — once fault-free to fix the
+campaign horizon and the functional baseline, once under a
+:class:`FaultSchedule` drawn from the seed — then checks three things:
+
+* the chaos trace replays cleanly through rispp-verify (including the
+  quarantine/repair rules TRC014/TRC015);
+* the run is functionally indistinguishable from the fault-free
+  baseline (the AES suite compares ciphertext environments; the SI
+  stream suites compare execution counts — every call completes);
+* every observed repair landed within :func:`static_repair_bound`, the
+  static worst case derived from the scrub period, the port backlog
+  bound and the retry backoff ladder.
+
+Reports are plain dicts of JSON-safe deterministic values (no
+timestamps), so ``python -m repro chaos --seed N --format json`` is
+byte-identical across runs — the acceptance gate of the fault work.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict
+from typing import TYPE_CHECKING
+
+from ..core.library import SILibrary
+from .injector import FaultInjector
+from .model import FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..runtime.manager import RisppRuntime
+
+CHAOS_SCHEMA_VERSION = 1
+CHAOS_KIND = "rispp-chaos-report"
+
+#: Suites the chaos CLI can fuzz (the same three the verifier ships).
+CHAOS_SUITES = ("aes", "h264", "synthetic")
+
+
+def static_repair_bound(
+    library: SILibrary,
+    containers: int,
+    *,
+    scrub_period: int,
+    max_retries: int,
+    backoff_cycles: int,
+) -> int:
+    """Sound worst-case injection-to-repair latency, in cycles.
+
+    A transient fault is detected at most ``scrub_period`` cycles after
+    injection (the next readback pass).  The repair rotation then rides
+    the normal serial port: one attempt costs at most the port backlog
+    bound (``containers`` worst-case writes), and every mid-write fault
+    costs one more attempt plus its exponential backoff, up to
+    ``max_retries`` extra attempts.  Summing the three terms bounds the
+    MTTR of every *repaired* container; retired containers never count.
+    """
+    from ..analysis.feasibility import port_backlog_bound
+
+    backlog = port_backlog_bound(library, containers)
+    backoff_total = sum(backoff_cycles * 2**i for i in range(max_retries))
+    return scrub_period + (1 + max_retries) * backlog + backoff_total
+
+
+# -- suite scenarios ----------------------------------------------------------
+
+
+def _h264_config() -> dict:
+    from ..apps.h264 import build_h264_library
+    from ..bench.suites import H264_MACROBLOCK_CALLS
+
+    return {
+        "library": build_h264_library(),
+        "forecasts": [
+            ("SATD_4x4", 256.0), ("DCT_4x4", 24.0),
+            ("HT_4x4", 1.0), ("HT_2x2", 2.0),
+        ],
+        "blocks": list(H264_MACROBLOCK_CALLS),
+        "containers": 6,
+        "rounds": {"quick": 3, "full": 8},
+    }
+
+
+def _synthetic_config() -> dict:
+    from ..bench.suites import build_synthetic_library
+
+    return {
+        "library": build_synthetic_library(),
+        "forecasts": [
+            ("SI0", 64.0), ("SI1", 16.0), ("SI2", 4.0), ("SI3", 1.0),
+        ],
+        "blocks": [("SI0", 64), ("SI1", 16), ("SI2", 4), ("SI3", 1)],
+        "containers": 5,
+        "rounds": {"quick": 6, "full": 20},
+    }
+
+
+def _run_stream(
+    config: dict, *, quick: bool, injector: FaultInjector | None
+) -> "RisppRuntime":
+    from ..bench.suites import run_si_stream
+
+    rounds = config["rounds"]["quick" if quick else "full"]
+    runtime = run_si_stream(
+        config["library"],
+        config["forecasts"],
+        config["blocks"],
+        containers=config["containers"],
+        block_rounds=rounds,
+        optimize=True,
+        fault_injector=injector,
+    )
+    end = runtime.trace.last_cycle
+    for si_name, _ in config["forecasts"]:
+        runtime.forecast_end(si_name, end)
+    return runtime
+
+
+def _run_aes(*, injector: FaultInjector | None):
+    from ..apps.aes import (
+        build_aes_library,
+        build_aes_program,
+        default_aes_fdfs,
+    )
+    from ..sim.integration import compile_and_run
+
+    def env_factory(i: int) -> dict[str, bytes]:
+        return {
+            "plaintext": bytes([i % 256] * 16),
+            "key": bytes([(255 - i) % 256] * 16),
+        }
+
+    with warnings.catch_warnings():
+        # Library advisories (dominated molecules etc.) belong to `lint`.
+        warnings.simplefilter("ignore")
+        return compile_and_run(
+            build_aes_program(),
+            build_aes_library(),
+            default_aes_fdfs(),
+            containers=6,
+            profile_env_factory=env_factory,
+            run_env={"plaintext": b"\x21" * 16, "key": b"\x42" * 16},
+            profile_runs=2,
+            fault_injector=injector,
+        )
+
+
+def _quiesce(
+    runtime: "RisppRuntime",
+    injector: FaultInjector,
+    *,
+    horizon: int,
+    bound: int,
+) -> int:
+    """Advance past the campaign until recovery fully settles.
+
+    Every scheduled fault lies before ``horizon``; each open episode
+    resolves within ``bound`` cycles of its trigger, so a few bound-sized
+    steps always drain the port, the scrubber queue and the retry list.
+    Returns the cycle the run settled at (the degraded-time cut-off).
+    """
+    now = max(runtime.trace.last_cycle, horizon)
+    for _ in range(8):
+        now += bound + injector.scrub_period
+        runtime.advance(now)
+        if runtime.port.is_idle() and injector.open_episodes() == 0:
+            break
+    injector.finalize(now)
+    return now
+
+
+# -- the chaos driver ---------------------------------------------------------
+
+
+def run_chaos_suite(
+    name: str,
+    *,
+    seed: int,
+    fault_rate: float = 5.0,
+    quick: bool = False,
+    scrub_period: int = 10_000,
+    max_retries: int = 3,
+    backoff_cycles: int = 1_000,
+    survivable_failures: int = 1,
+) -> dict:
+    """One seeded chaos campaign over a shipped suite; returns the report.
+
+    Deterministic in its arguments: same seed, same report — byte for
+    byte once rendered with sorted keys.
+    """
+    from ..analysis.feasibility import prove_feasibility
+    from ..analysis.verify import verify_runtime
+
+    if name not in CHAOS_SUITES:
+        raise ValueError(
+            f"unknown chaos suite {name!r}; choose from {sorted(CHAOS_SUITES)}"
+        )
+
+    # Fault-free reference run: fixes the campaign horizon and the
+    # functional baseline the chaos run must match.
+    if name == "aes":
+        baseline_flow = _run_aes(injector=None)
+        baseline_rt = baseline_flow.runtime
+        library = baseline_rt.library
+        containers = len(baseline_rt.fabric)
+    else:
+        config = _h264_config() if name == "h264" else _synthetic_config()
+        baseline_rt = _run_stream(config, quick=quick, injector=None)
+        library = config["library"]
+        containers = config["containers"]
+    horizon = baseline_rt.trace.last_cycle
+
+    schedule = FaultSchedule.generate(
+        seed=seed, horizon=horizon, containers=containers, rate=fault_rate
+    )
+    injector = FaultInjector(
+        schedule,
+        scrub_period=scrub_period,
+        max_retries=max_retries,
+        backoff_cycles=backoff_cycles,
+    )
+    bound = static_repair_bound(
+        library,
+        containers,
+        scrub_period=scrub_period,
+        max_retries=max_retries,
+        backoff_cycles=backoff_cycles,
+    )
+
+    # The chaos run proper.
+    if name == "aes":
+        chaos_flow = _run_aes(injector=injector)
+        runtime = chaos_flow.runtime
+        functional_match = chaos_flow.result.env == baseline_flow.result.env
+    else:
+        runtime = _run_stream(config, quick=quick, injector=injector)
+        # Stream suites carry no data environment; "functionally equal"
+        # means every SI call completed, exactly as many as fault-free.
+        functional_match = (
+            runtime.stats.si_executions == baseline_rt.stats.si_executions
+        )
+    settled_at = _quiesce(runtime, injector, horizon=horizon, bound=bound)
+
+    verify_report = verify_runtime(runtime, subject=f"chaos:{name}")
+    feasibility = prove_feasibility(
+        library,
+        containers,
+        survivable_failures=survivable_failures,
+        subject=f"chaos:{name}",
+    )
+    stats = injector.stats
+    mttr_within_bound = stats.mttr_cycles_max <= bound
+    return {
+        "schema_version": CHAOS_SCHEMA_VERSION,
+        "kind": CHAOS_KIND,
+        "suite": name,
+        "seed": seed,
+        "quick": quick,
+        "fault_rate": fault_rate,
+        "containers": containers,
+        "recovery": {
+            "scrub_period": scrub_period,
+            "max_retries": max_retries,
+            "backoff_cycles": backoff_cycles,
+            "survivable_failures": survivable_failures,
+        },
+        "horizon_cycles": horizon,
+        "settled_cycle": settled_at,
+        "schedule": {
+            "events": len(schedule),
+            "by_kind": schedule.counts(),
+        },
+        "resilience": stats.to_dict(),
+        "repair_bound_cycles": bound,
+        "mttr_within_bound": mttr_within_bound,
+        "open_episodes": injector.open_episodes(),
+        "trace": {
+            "events": len(runtime.trace),
+            "verified": verify_report.ok(),
+            "findings": [d.render() for d in verify_report.errors()],
+        },
+        "feasibility": {
+            "degraded_warnings": [
+                d.render() for d in feasibility.report.by_rule("FEA005")
+            ],
+        },
+        "functional": {
+            "checked": True,
+            "match": functional_match,
+            "si_executions": runtime.stats.si_executions,
+            "baseline_si_executions": baseline_rt.stats.si_executions,
+        },
+        "totals": asdict(runtime.stats),
+    }
+
+
+def chaos_ok(report: dict) -> bool:
+    """The pass/fail verdict the CLI and CI turn into an exit code."""
+    return bool(
+        report["trace"]["verified"]
+        and report["mttr_within_bound"]
+        and report["functional"]["match"]
+        and report["open_episodes"] == 0
+    )
+
+
+def render_chaos_report(report: dict) -> str:
+    """Human-readable rendering of one chaos report."""
+    res = report["resilience"]
+    lines = [
+        f"chaos suite {report['suite']!r} "
+        f"(seed {report['seed']}, rate {report['fault_rate']}/Mcycle, "
+        f"{'quick' if report['quick'] else 'full'})",
+        f"  horizon: {report['horizon_cycles']} cycles, "
+        f"{report['schedule']['events']} scheduled fault(s) "
+        f"{report['schedule']['by_kind']}",
+        f"  injected: {res['faults_injected']} "
+        f"(transient {res['transients']}, write-error {res['write_errors']}, "
+        f"permanent {res['permanents']}; no-effect {res['faults_no_effect']})",
+        f"  detected: {res['faults_detected']} "
+        f"(overwritten first: {res['faults_overwritten']})",
+        f"  quarantined: {res['containers_quarantined']}, "
+        f"repaired: {res['containers_repaired']}, "
+        f"retired: {res['containers_retired']}",
+        f"  retries: {res['rotation_retries']}, "
+        f"abandoned jobs: {res['jobs_abandoned']}",
+        f"  degraded cycles: {res['degraded_cycles']}, "
+        f"SW fallbacks due to faults: {res['sw_fallback_executions']}",
+        f"  MTTR: mean {res['mttr_cycles']} cycles, "
+        f"max {res['mttr_cycles_max']} "
+        f"(static bound {report['repair_bound_cycles']}: "
+        f"{'within' if report['mttr_within_bound'] else 'EXCEEDED'})",
+        f"  trace: {report['trace']['events']} event(s), "
+        f"verified: {report['trace']['verified']}",
+    ]
+    for finding in report["trace"]["findings"]:
+        lines.append(f"    {finding}")
+    for warning in report["feasibility"]["degraded_warnings"]:
+        lines.append(f"  {warning}")
+    functional = report["functional"]
+    lines.append(
+        f"  functional vs fault-free baseline: "
+        f"{'match' if functional['match'] else 'MISMATCH'} "
+        f"({functional['si_executions']} SI executions)"
+    )
+    lines.append(f"  verdict: {'PASS' if chaos_ok(report) else 'FAIL'}")
+    return "\n".join(lines)

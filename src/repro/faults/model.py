@@ -1,0 +1,130 @@
+"""The fault model: kinds, events and deterministic schedules.
+
+A :class:`FaultSchedule` is the *entire* source of nondeterminism in a
+chaos run: it is either written out explicitly (tests) or generated from
+a seed (chaos CLI / CI fuzz).  Given the same schedule, the injector and
+the runtime are fully deterministic, so resilience reports are
+byte-identical across runs — the property the acceptance gate checks.
+
+Fault kinds, following the configuration-upset literature:
+
+``TRANSIENT``
+    An SEU flips configuration bits of a *loaded* container.  The Atom
+    keeps reporting as present but is silently wrong until a rotation
+    overwrites it or the readback scrubber detects it.
+``WRITE_ERROR``
+    The SelectMap transfer in flight at that cycle is corrupted; the
+    partial bitstream is useless and the write must be retried.  The
+    targeted container is whichever one the port happens to be writing —
+    the event's ``container`` field is ignored.
+``PERMANENT``
+    A fabric defect: the container is retired for good.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+class FaultKind(enum.Enum):
+    """Categories of injected faults."""
+
+    TRANSIENT = "transient"
+    WRITE_ERROR = "write_error"
+    PERMANENT = "permanent"
+
+
+#: Relative likelihood of each kind in generated schedules.  SEUs
+#: dominate on real fabrics; permanent defects are rare.
+_KIND_WEIGHTS: Sequence[tuple[FaultKind, int]] = (
+    (FaultKind.TRANSIENT, 7),
+    (FaultKind.WRITE_ERROR, 2),
+    (FaultKind.PERMANENT, 1),
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *kind* strikes *container* at *cycle*.
+
+    ``container`` is ignored for ``WRITE_ERROR`` (the fault hits the
+    write in flight on the single port, whichever container it targets).
+    """
+
+    cycle: int
+    kind: FaultKind
+    container: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("fault cycle cannot be negative")
+        if self.container < 0:
+            raise ValueError("fault container id cannot be negative")
+
+    def sort_key(self) -> tuple[int, str, int]:
+        """Chronological, with a stable tie-break for same-cycle events."""
+        return (self.cycle, self.kind.value, self.container)
+
+    def __lt__(self, other: "FaultEvent") -> bool:
+        if not isinstance(other, FaultEvent):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+
+class FaultSchedule:
+    """A deterministic, time-ordered list of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: list[FaultEvent] = sorted(events)
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        seed: int,
+        horizon: int,
+        containers: int,
+        rate: float = 2.0,
+        kind_weights: Sequence[tuple[FaultKind, int]] = _KIND_WEIGHTS,
+    ) -> "FaultSchedule":
+        """Draw a schedule from a seeded RNG.
+
+        ``rate`` is the expected number of faults per million cycles over
+        ``horizon`` cycles; the draw is deterministic in ``(seed,
+        horizon, containers, rate, kind_weights)``.
+        """
+        if horizon < 0:
+            raise ValueError("horizon cannot be negative")
+        if containers < 1:
+            raise ValueError("schedule needs at least one container")
+        if rate < 0:
+            raise ValueError("fault rate cannot be negative")
+        rng = random.Random(seed)
+        count = round(rate * horizon / 1_000_000)
+        kinds = [k for k, w in kind_weights for _ in range(w)]
+        events = []
+        for _ in range(count):
+            events.append(
+                FaultEvent(
+                    cycle=rng.randrange(horizon) if horizon else 0,
+                    kind=rng.choice(kinds),
+                    container=rng.randrange(containers),
+                )
+            )
+        return cls(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind (for the chaos report header)."""
+        out = {kind.value: 0 for kind in FaultKind}
+        for e in self.events:
+            out[e.kind.value] += 1
+        return out

@@ -1,0 +1,63 @@
+"""Resilience accounting: what the fabric survived and what it cost.
+
+All counters are cycles or event counts derived purely from the
+deterministic simulation, so a :class:`ResilienceStats` block is
+reproducible byte-for-byte given the same seed.  The glossary lives in
+``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class ResilienceStats:
+    """Aggregate fault/recovery counters of one chaos run."""
+
+    #: Scheduled faults that were delivered (regardless of effect).
+    faults_injected: int = 0
+    #: Faults that found nothing to damage (empty container, idle port,
+    #: already-failed container).
+    faults_no_effect: int = 0
+    transients: int = 0
+    write_errors: int = 0
+    permanents: int = 0
+    #: Silent corruptions the scrubber caught.
+    faults_detected: int = 0
+    #: Silent corruptions healed by an ordinary rotation overwriting the
+    #: container before the scrubber ever saw them.
+    faults_overwritten: int = 0
+    containers_quarantined: int = 0
+    containers_repaired: int = 0
+    #: Containers permanently retired (permanent defects plus repairs
+    #: that exhausted their retry budget).
+    containers_retired: int = 0
+    #: Bitstream writes re-queued after a mid-write error.
+    rotation_retries: int = 0
+    #: Non-repair rotation jobs abandoned after ``max_retries`` failures.
+    jobs_abandoned: int = 0
+    #: SI executions that ran in software *because* fault recovery had
+    #: atoms out of service (the SI would have had a hardware molecule
+    #: with the quarantined atoms restored).
+    sw_fallback_executions: int = 0
+    #: Cycles during which at least one corruption/quarantine episode was
+    #: open (the fabric ran degraded).
+    degraded_cycles: int = 0
+    #: Injection-to-detection cycles summed over detected faults.
+    detection_cycles_total: int = 0
+    #: Injection-to-repair cycles summed over repaired containers.
+    mttr_cycles_total: int = 0
+    #: Worst single repair (compared against the static repair bound).
+    mttr_cycles_max: int = 0
+
+    def mttr_cycles(self) -> float:
+        """Mean time to repair, in cycles (0.0 with no repairs)."""
+        if not self.containers_repaired:
+            return 0.0
+        return self.mttr_cycles_total / self.containers_repaired
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["mttr_cycles"] = round(self.mttr_cycles(), 3)
+        return out

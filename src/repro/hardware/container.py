@@ -39,6 +39,14 @@ class AtomContainer:
     rotations: int = field(default=0)
     #: Permanently out of service (fabric defect); never holds Atoms again.
     failed: bool = False
+    #: A transient SEU flipped configuration bits of the loaded Atom: the
+    #: Atom is *silently wrong* — still visibly LOADED, but it must not be
+    #: trusted for executions.  Cleared by any overwrite (rotation or
+    #: eviction) or by quarantine once the scrubber detects it.
+    corrupted: bool = False
+    #: Detected-corrupt container pulled out of service pending a repair
+    #: rotation; only a ``repair=True`` rotation may target it.
+    quarantined: bool = False
     #: Bumped on every availability-changing mutation (rotation start or
     #: completion, eviction, failure).  The fabric sums these into its
     #: state generation so derived views can be memoized between
@@ -47,17 +55,104 @@ class AtomContainer:
     generation: int = field(default=0, compare=False, repr=False)
 
     def is_available(self) -> bool:
-        """True when the container holds a usable Atom."""
-        return self.state is ContainerState.LOADED and not self.failed
+        """True when the container holds a usable Atom.
+
+        A *corrupted* container is deliberately still available: the
+        fault is silent until the scrubber detects it, so the planner
+        and the execution path keep trusting the Atom.  The functional
+        model guards against wrong results elsewhere (executions fall
+        back to software while a corruption episode is open).
+        """
+        return (
+            self.state is ContainerState.LOADED
+            and not self.failed
+            and not self.quarantined
+        )
 
     def mark_failed(self) -> str | None:
         """Take the container out of service; returns the Atom lost (if any).
 
         A failure clears whatever the container held — including an
-        in-flight rotation, which is simply lost.
+        in-flight rotation, which is simply lost.  Idempotent: failing an
+        already-failed container is a no-op that returns ``None`` and does
+        not bump the generation.
         """
+        if self.failed:
+            return None
         lost = self.atom
         self.failed = True
+        self.state = ContainerState.EMPTY
+        self.atom = None
+        self.ready_at = None
+        self.corrupted = False
+        self.quarantined = False
+        self.generation += 1
+        return lost
+
+    def mark_corrupted(self) -> str:
+        """A transient SEU hits the loaded Atom's configuration bits.
+
+        The container stays LOADED — the fault is silent — but the Atom
+        it reports is wrong until a rotation overwrites it or the
+        scrubber quarantines the container.  Returns the affected Atom.
+        """
+        if self.state is not ContainerState.LOADED or self.atom is None:
+            raise ValueError(
+                f"container {self.container_id} holds no loaded atom to corrupt"
+            )
+        if self.failed or self.quarantined:
+            raise ValueError(
+                f"container {self.container_id} is out of service"
+            )
+        self.corrupted = True
+        self.generation += 1
+        return self.atom
+
+    def quarantine(self) -> str | None:
+        """Pull a detected-corrupt container out of service for repair.
+
+        Drops the (untrustworthy) Atom and blocks the container from
+        ordinary rotations until :meth:`release_quarantine`.  Returns the
+        Atom lost, which the repair rotation will re-load.
+        """
+        if self.failed:
+            raise ValueError(
+                f"container {self.container_id} is failed and cannot be quarantined"
+            )
+        if self.state is ContainerState.LOADING:
+            raise ValueError(
+                f"container {self.container_id} is rotating and cannot be quarantined"
+            )
+        lost = self.atom
+        self.state = ContainerState.EMPTY
+        self.atom = None
+        self.ready_at = None
+        self.corrupted = False
+        self.quarantined = True
+        self.generation += 1
+        return lost
+
+    def release_quarantine(self) -> None:
+        """Re-admit the container after a successful repair rotation."""
+        if not self.quarantined:
+            raise ValueError(
+                f"container {self.container_id} is not quarantined"
+            )
+        self.quarantined = False
+        self.generation += 1
+
+    def abort_rotation(self) -> str | None:
+        """Abandon an in-flight rotation (mid-write bitstream error).
+
+        The partially written configuration is useless: the container
+        returns to EMPTY and the Atom being loaded is lost.  Returns that
+        Atom so the caller can retry the write.
+        """
+        if self.state is not ContainerState.LOADING:
+            raise ValueError(
+                f"container {self.container_id} has no rotation in flight"
+            )
+        lost = self.atom
         self.state = ContainerState.EMPTY
         self.atom = None
         self.ready_at = None
@@ -67,15 +162,28 @@ class AtomContainer:
     def is_busy(self) -> bool:
         return self.state is ContainerState.LOADING
 
-    def begin_rotation(self, atom: str, ready_at: int, *, owner: str | None = None) -> None:
+    def begin_rotation(
+        self,
+        atom: str,
+        ready_at: int,
+        *,
+        owner: str | None = None,
+        repair: bool = False,
+    ) -> None:
         """Start loading ``atom``; the container is unusable until ``ready_at``.
 
         Rotating a LOADING container is rejected — the single configuration
         port serialises rotations, and an in-flight one cannot be hijacked.
+        A quarantined container only accepts ``repair=True`` rotations.
         """
         if self.failed:
             raise ValueError(
                 f"container {self.container_id} is failed and out of service"
+            )
+        if self.quarantined and not repair:
+            raise ValueError(
+                f"container {self.container_id} is quarantined; only a repair "
+                "rotation may target it"
             )
         if self.state is ContainerState.LOADING:
             raise ValueError(
@@ -86,6 +194,7 @@ class AtomContainer:
         self.state = ContainerState.LOADING
         self.atom = atom
         self.ready_at = ready_at
+        self.corrupted = False
         if owner is not None:
             self.owner = owner
         self.rotations += 1
@@ -123,6 +232,7 @@ class AtomContainer:
         previous = self.atom
         self.state = ContainerState.EMPTY
         self.atom = None
+        self.corrupted = False
         self.generation += 1
         return previous
 

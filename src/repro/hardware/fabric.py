@@ -131,7 +131,9 @@ class Fabric:
         return [
             c
             for c in self.containers
-            if c.state is ContainerState.EMPTY and not c.failed
+            if c.state is ContainerState.EMPTY
+            and not c.failed
+            and not c.quarantined
         ]
 
     def healthy_containers(self) -> list[AtomContainer]:
@@ -141,8 +143,15 @@ class Fabric:
     def fail_container(self, container_id: int) -> str | None:
         """Take a container out of service (fabric defect injection).
 
-        Returns the Atom that was lost, if any.
+        Returns the Atom that was lost, if any.  Out-of-range ids raise
+        ``ValueError`` (negative indices would silently wrap around);
+        failing an already-failed container is an idempotent no-op.
         """
+        if not 0 <= container_id < len(self.containers):
+            raise ValueError(
+                f"container id {container_id} out of range "
+                f"(fabric has {len(self.containers)} containers)"
+            )
         return self.containers[container_id].mark_failed()
 
     def loaded_containers(self) -> list[AtomContainer]:

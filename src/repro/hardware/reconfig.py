@@ -39,6 +39,11 @@ class RotationJob:
     started: bool = field(default=False, compare=False)
     completed: bool = field(default=False, compare=False)
     owner: str | None = None
+    #: Repair rotation re-loading a quarantined container's Atom; the only
+    #: kind of rotation a quarantined container accepts.
+    repair: bool = field(default=False, compare=False)
+    #: Mid-write bitstream error killed this job (the write never finished).
+    aborted: bool = field(default=False, compare=False)
 
     @property
     def duration(self) -> int:
@@ -93,12 +98,14 @@ class ReconfigurationPort:
         now: int,
         *,
         owner: str | None = None,
+        repair: bool = False,
     ) -> RotationJob:
         """Queue a rotation of ``atom`` into ``container_id`` at cycle ``now``.
 
         The container is reserved immediately but keeps serving its current
         Atom until the port starts this job (``started_at``); the new Atom
-        becomes usable at ``finish_at``.
+        becomes usable at ``finish_at``.  A quarantined container only
+        accepts ``repair=True`` requests.
         """
         fabric.check_rotatable(atom)
         if container_id in self._reserved:
@@ -109,6 +116,11 @@ class ReconfigurationPort:
         if container.failed:
             raise ValueError(
                 f"container {container_id} is failed and out of service"
+            )
+        if container.quarantined and not repair:
+            raise ValueError(
+                f"container {container_id} is quarantined; only a repair "
+                "rotation may target it"
             )
         if container.is_busy():  # pragma: no cover - reserved covers this
             raise ValueError(f"container {container_id} is rotating")
@@ -122,6 +134,7 @@ class ReconfigurationPort:
             finish_at=finish,
             evicted=container.atom,
             owner=owner,
+            repair=repair,
         )
         if owner is not None:
             container.reassign(owner)
@@ -152,7 +165,8 @@ class ReconfigurationPort:
             if not job.started and job.started_at <= now:
                 container.evict()
                 container.begin_rotation(
-                    job.atom, job.finish_at, owner=job.owner
+                    job.atom, job.finish_at, owner=job.owner,
+                    repair=job.repair,
                 )
                 job.started = True
             if job.started and not job.completed and job.finish_at <= now:
@@ -180,6 +194,18 @@ class ReconfigurationPort:
                 self._reserved.discard(job.container_id)
         if not dropped:
             return
+        self._resequence(now)
+
+    def _resequence(self, now: int) -> None:
+        """Recompute start/finish cycles after jobs left the queue.
+
+        Unstarted jobs keep their relative order but start as early as
+        the port allows: after any write still in flight and never before
+        the requeue cycle (``now``) or the job's own request cycle.
+        ``busy_until`` ends at the last job's finish — or ``now`` when
+        the queue drained, never earlier (the port cannot re-lease time
+        it already spent).
+        """
         cursor = now
         for job in sorted(self._pending, key=lambda j: j.started_at):
             if job.started:
@@ -190,6 +216,30 @@ class ReconfigurationPort:
             job.finish_at = job.started_at + duration
             cursor = job.finish_at
         self.busy_until = cursor
+
+    def abort_active(self, fabric: Fabric, now: int) -> RotationJob | None:
+        """Kill the write in flight at cycle ``now`` (SelectMap error model).
+
+        The actively writing job — started, not completed, with
+        ``started_at <= now < finish_at`` — is aborted: its container's
+        partial configuration is discarded (back to EMPTY), the
+        reservation is released, and the queue behind it is pulled
+        forward from ``now``.  Returns the aborted job, or ``None`` when
+        no write is in flight at ``now`` (the fault hits an idle port).
+        """
+        for job in self._pending:
+            if (
+                job.started
+                and not job.completed
+                and job.started_at <= now < job.finish_at
+            ):
+                fabric.container(job.container_id).abort_rotation()
+                job.aborted = True
+                self._pending.remove(job)
+                self._reserved.discard(job.container_id)
+                self._resequence(now)
+                return job
+        return None
 
     def is_idle(self) -> bool:
         """True when no rotation is scheduled or in flight."""

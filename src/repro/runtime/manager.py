@@ -27,17 +27,21 @@ the forecast ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.library import SILibrary
 from ..core.molecule import Molecule
 from ..core.selection import ForecastedSI, select_greedy
 from ..core.si import MoleculeImpl
 from ..hardware.fabric import Fabric
-from ..hardware.reconfig import ReconfigurationPort
+from ..hardware.reconfig import ReconfigurationPort, RotationJob
 from ..sim.trace import EventKind, Trace
 from .monitor import ForecastMonitor
 from .replacement import LRUPolicy, ReplacementPolicy
 from .rotation import future_population, plan_rotations
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injector import FaultInjector
 
 
 @dataclass
@@ -92,6 +96,7 @@ class RisppRuntime:
         selection=select_greedy,
         energy_model=None,
         optimize: bool = True,
+        faults: "FaultInjector | None" = None,
     ):
         self.library = library
         self.fabric = Fabric(
@@ -130,6 +135,12 @@ class RisppRuntime:
         #: replan that issued nothing; an identical signature makes the
         #: next replan a guaranteed no-op, so it is skipped.
         self._plan_key: tuple | None = None
+        #: Optional :class:`repro.faults.FaultInjector`; when set,
+        #: :meth:`advance` interleaves its scheduled fault and scrub
+        #: events chronologically with rotation completions.
+        self._faults = faults
+        if faults is not None:
+            faults.attach(self)
 
     # -- time ------------------------------------------------------------
 
@@ -139,29 +150,53 @@ class RisppRuntime:
         Completions are processed *chronologically*, replanning after each
         one when earlier demands went unplaced — the manager reacts to
         each completion interrupt at its own cycle, so decisions never see
-        hardware state from the future.
+        hardware state from the future.  With a fault injector attached,
+        its due fault/scrub events interleave at their own cycles too:
+        completions are drained up to each fault cycle before the fault
+        fires, so injections always see the hardware state of their cycle.
         """
-        if self._optimize and self.port.is_idle():
-            # Nothing scheduled or in flight: the fabric cannot change.
+        faults = self._faults
+        if (
+            self._optimize
+            and self.port.is_idle()
+            and (faults is None or faults.next_cycle(now) is None)
+        ):
+            # Nothing scheduled, in flight, or due: state cannot change.
             return
+        if faults is not None:
+            while True:
+                due = faults.next_cycle(now)
+                if due is None:
+                    break
+                self._drain_completions_until(due)
+                faults.step(self, due)
+        self._drain_completions_until(now)
+
+    def _drain_completions_until(self, limit: int) -> None:
+        """Process completions chronologically, then starts, up to ``limit``."""
         while True:
             next_completion = self.port.next_completion()
-            if next_completion is None or next_completion > now:
+            if next_completion is None or next_completion > limit:
                 break
             for job in self.port.advance(self.fabric, next_completion):
-                self.trace.record(
-                    job.finish_at,
-                    EventKind.ROTATION_COMPLETED,
-                    task=job.owner or "",
-                    detail_atom=job.atom,
-                    container=job.container_id,
-                )
-                if self._unplaced_for is not None and self._active:
-                    trigger = self._unplaced_for
-                    self._unplaced_for = None
-                    self._replan(job.finish_at, triggering_task=trigger)
-        # Finally process rotation *starts* (evictions) up to ``now``.
-        self.port.advance(self.fabric, now)
+                self._on_rotation_completed(job)
+        # Finally process rotation *starts* (evictions) up to ``limit``.
+        self.port.advance(self.fabric, limit)
+
+    def _on_rotation_completed(self, job: RotationJob) -> None:
+        self.trace.record(
+            job.finish_at,
+            EventKind.ROTATION_COMPLETED,
+            task=job.owner or "",
+            detail_atom=job.atom,
+            container=job.container_id,
+        )
+        if self._faults is not None:
+            self._faults.on_rotation_completed(self, job)
+        if self._unplaced_for is not None and self._active:
+            trigger = self._unplaced_for
+            self._unplaced_for = None
+            self._replan(job.finish_at, triggering_task=trigger)
 
     # -- forecasts (task a + b + c) --------------------------------------------
 
@@ -229,6 +264,8 @@ class RisppRuntime:
             )
             self._replan(now, triggering_task=task)
         impl = self._best_available(si)
+        if impl is None and self._faults is not None:
+            self._faults.note_execution(self, si, now)
         if impl is None:
             cycles = si.software_cycles
             mode = "SW"
@@ -294,9 +331,31 @@ class RisppRuntime:
         The lost Atom (loaded or in flight) is gone; active forecasts are
         replanned immediately so a replacement rotation lands in another
         container — graceful degradation instead of a wrong result.
+
+        Out-of-range ids raise ``ValueError``.  Failing an already-failed
+        container is an idempotent no-op: no state change, no duplicate
+        ``CONTAINER_FAILED`` event, no spurious replan.
         """
+        if not 0 <= container_id < len(self.fabric):
+            raise ValueError(
+                f"container id {container_id} out of range "
+                f"(fabric has {len(self.fabric)} containers)"
+            )
         self.advance(now)
+        if self.fabric.container(container_id).failed:
+            return
+        self._fail_container_at(container_id, now)
+
+    def _fail_container_at(self, container_id: int, now: int) -> str | None:
+        """Retire a container at cycle ``now`` (caller already advanced).
+
+        Shared by :meth:`fail_container` and the fault injector's
+        permanent-defect / repair-exhaustion paths, which run inside
+        :meth:`advance` and must not re-enter it.
+        """
         lost = self.fabric.fail_container(container_id)
+        if self._faults is not None:
+            self._faults.on_container_failed(container_id, now)
         # Release any reservation the port held on the dead container.
         self.port.advance(self.fabric, now)
         self.trace.record(
@@ -305,6 +364,11 @@ class RisppRuntime:
             container=container_id,
             lost_atom=lost,
         )
+        self._request_replan(now)
+        return lost
+
+    def _request_replan(self, now: int) -> None:
+        """Replan on behalf of the active forecasts, if any."""
         if self._active:
             trigger = sorted({f.task for f in self._active.values()})[0]
             self._replan(now, triggering_task=trigger)
@@ -405,22 +469,7 @@ class RisppRuntime:
                 to_task=new_owner,
             )
         for job in plan.jobs:
-            self.stats.rotations_requested += 1
-            if self.energy_model is not None:
-                kind = self.library.catalogue.get(job.atom)
-                self.stats.rotation_energy_nj += (
-                    kind.bitstream_bytes * self.energy_model.rotation_nj_per_byte
-                )
-            self.trace.record(
-                now,
-                EventKind.ROTATION_REQUESTED,
-                task=job.owner or "",
-                detail_atom=job.atom,
-                container=job.container_id,
-                starts=job.started_at,
-                finishes=job.finish_at,
-                evicts=job.evicted,
-            )
+            self._record_rotation_request(job, now)
         self._unplaced_for = triggering_task if plan.unplaced else None
         # Only a round that issued no rotations and left nothing unplaced
         # is memoizable: re-running it with the same weight vector and
@@ -429,6 +478,36 @@ class RisppRuntime:
         # so its key can never match a later call anyway.)
         self._plan_key = (
             plan_key if not plan.jobs and not plan.unplaced else None
+        )
+
+    def _record_rotation_request(
+        self, job: RotationJob, now: int, *, repair: bool = False
+    ) -> None:
+        """Account for and trace one issued rotation request.
+
+        Used for every planner job and for the fault injector's repair
+        and retry requests, so stats and trace schema stay uniform.
+        """
+        self.stats.rotations_requested += 1
+        if self.energy_model is not None:
+            kind = self.library.catalogue.get(job.atom)
+            self.stats.rotation_energy_nj += (
+                kind.bitstream_bytes * self.energy_model.rotation_nj_per_byte
+            )
+        detail: dict = dict(
+            detail_atom=job.atom,
+            container=job.container_id,
+            starts=job.started_at,
+            finishes=job.finish_at,
+            evicts=job.evicted,
+        )
+        if repair:
+            detail["repair"] = True
+        self.trace.record(
+            now,
+            EventKind.ROTATION_REQUESTED,
+            task=job.owner or "",
+            **detail,
         )
 
     def _rotation_priority(

@@ -84,7 +84,7 @@ def victim_candidates(
             future_counts[atom] = future_counts.get(atom, 0) + 1
     candidates = []
     for c in fabric.containers:
-        if c.failed or port.is_reserved(c.container_id):
+        if c.failed or c.quarantined or port.is_reserved(c.container_id):
             continue
         atom = c.atom
         if atom is None:

@@ -163,6 +163,7 @@ def compile_and_run(
     lint: bool = True,
     optimize: bool = True,
     energy_model=None,
+    fault_injector=None,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
@@ -187,7 +188,7 @@ def compile_and_run(
         _enforce(lint_flow(cfg, library, annotation, fdfs=fdfs, subject="flow"))
     runtime = RisppRuntime(
         library, containers, core_mhz=core_mhz, optimize=optimize,
-        energy_model=energy_model,
+        energy_model=energy_model, faults=fault_injector,
     )
     result = run_annotated_program(
         program, annotation, runtime, dict(run_env or {}), lint=False

@@ -38,6 +38,11 @@ class EventKind(enum.Enum):
     SI_MODE_SWITCH = "si_mode_switch"
     TASK_STEP = "task_step"
     CONTAINER_FAILED = "container_failed"
+    FAULT_INJECTED = "fault_injected"
+    FAULT_DETECTED = "fault_detected"
+    CONTAINER_QUARANTINED = "container_quarantined"
+    CONTAINER_REPAIRED = "container_repaired"
+    ROTATION_RETRIED = "rotation_retried"
 
 
 class Event:
