@@ -1,0 +1,215 @@
+"""Docs/code cross-checker: keep the prose honest (CI ``docs`` job).
+
+Scans ``docs/*.md`` and ``README.md`` and fails when documentation
+references drift from the code:
+
+* ``src/repro/...`` file paths that do not exist in the repository;
+* relative markdown links (``[text](path)``) whose target is missing;
+* lint/verify rule IDs (``LAT001`` .. ``FEA005``) absent from the
+  :data:`repro.analysis.registry.RULES` registry;
+* ``rispp_*`` metric names absent from the :mod:`repro.obs` catalogue;
+* catalogue metrics *not documented* in ``docs/observability.md`` — the
+  metric table must cover every declared family.
+
+Fenced code blocks are skipped for the rule-ID and metric-name checks:
+examples there may legitimately show invalid IDs (e.g. the "unknown
+rule" error message in ``docs/analysis.md``).
+
+Run as ``python -m repro.analysis.docs_check [repo_root]``; exit code 0
+when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Families of rule IDs the analysis registries declare.
+_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA)\d{3}\b")
+#: Exported metric names (the ``rispp_`` namespace) as written in prose.
+_METRIC_NAME = re.compile(r"\brispp_[a-z][a-z0-9_]*\b")
+#: Literal repository paths under the package root.
+_SRC_PATH = re.compile(r"\bsrc/repro/[A-Za-z0-9_/.-]*[A-Za-z0-9_]")
+#: Markdown inline links: [text](target).
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+#: Metric-name suffixes Prometheus synthesises for histograms; they are
+#: valid in prose even though the catalogue only declares the base name.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One documentation defect."""
+
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def _doc_files(root: Path) -> list[Path]:
+    files = sorted((root / "docs").glob("*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def _iter_lines(path: Path) -> list[tuple[int, str, bool]]:
+    """(line_number, text, inside_fenced_code_block) per line."""
+    out: list[tuple[int, str, bool]] = []
+    fenced = False
+    for number, text in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE.match(text):
+            fenced = not fenced
+            out.append((number, text, True))
+            continue
+        out.append((number, text, fenced))
+    return out
+
+
+def _known_metric_names() -> set[str]:
+    from ..obs.catalogue import METRICS
+
+    names: set[str] = set()
+    for spec in METRICS.values():
+        names.add(spec.full_name)
+        if spec.type == "histogram":
+            for suffix in _HISTOGRAM_SUFFIXES:
+                names.add(spec.full_name + suffix)
+    return names
+
+
+def _code_identifiers(root: Path) -> set[str]:
+    """``rispp_*`` identifiers appearing in the source tree.
+
+    Docs legitimately reference code named ``rispp_*`` (e.g. the
+    ``rispp_area``/``rispp_energy`` functions of ``repro.hardware``);
+    exported metric names never appear literally in code (the
+    ``rispp_`` namespace is prepended at export time), so a token found
+    in the source is a code reference, not a stale metric name.
+    """
+    found: set[str] = set()
+    src = root / "src" / "repro"
+    if not src.is_dir():
+        return found
+    for path in sorted(src.rglob("*.py")):
+        found.update(_METRIC_NAME.findall(path.read_text(encoding="utf-8")))
+    return found
+
+
+def _check_file(
+    path: Path,
+    root: Path,
+    rule_ids: set[str],
+    metric_names: set[str],
+    code_names: set[str],
+) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    findings: list[Finding] = []
+    for number, text, fenced in _iter_lines(path):
+        # Paths and links are checked everywhere — a code block quoting a
+        # nonexistent file is just as stale as prose doing it.
+        for match in _SRC_PATH.finditer(text):
+            target = match.group(0)
+            if not (root / target).exists():
+                findings.append(
+                    Finding(rel, number, f"path {target!r} does not exist")
+                )
+        for match in _MD_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                findings.append(
+                    Finding(rel, number, f"broken link target {target!r}")
+                )
+        if fenced:
+            continue
+        for match in _RULE_ID.finditer(text):
+            rule = match.group(0)
+            if rule not in rule_ids:
+                findings.append(
+                    Finding(rel, number, f"unknown rule ID {rule!r}")
+                )
+        for match in _METRIC_NAME.finditer(text):
+            name = match.group(0)
+            if name not in metric_names and name not in code_names:
+                findings.append(
+                    Finding(
+                        rel, number,
+                        f"metric {name!r} is not declared in the "
+                        "repro.obs catalogue",
+                    )
+                )
+    return findings
+
+
+def _check_observability_coverage(root: Path) -> list[Finding]:
+    """Every declared metric family must appear in docs/observability.md."""
+    from ..obs.catalogue import METRICS
+
+    doc = root / "docs" / "observability.md"
+    rel = doc.relative_to(root).as_posix()
+    if not doc.exists():
+        return [
+            Finding(
+                rel, 1,
+                "docs/observability.md is missing; it must catalogue "
+                f"all {len(METRICS)} declared metrics",
+            )
+        ]
+    text = doc.read_text(encoding="utf-8")
+    findings: list[Finding] = []
+    for spec in METRICS.values():
+        if spec.full_name not in text:
+            findings.append(
+                Finding(
+                    rel, 1,
+                    f"declared metric {spec.full_name!r} is not "
+                    "documented in the metric catalogue",
+                )
+            )
+    return findings
+
+
+def check_docs(root: Path) -> list[Finding]:
+    """All documentation findings for the repository at ``root``."""
+    from .registry import RULES
+
+    rule_ids = set(RULES)
+    metric_names = _known_metric_names()
+    code_names = _code_identifiers(root)
+    findings: list[Finding] = []
+    for path in _doc_files(root):
+        findings.extend(
+            _check_file(path, root, rule_ids, metric_names, code_names)
+        )
+    findings.extend(_check_observability_coverage(root))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else Path.cwd()
+    if not (root / "docs").is_dir():
+        print(f"docs-check: no docs/ directory under {root}", file=sys.stderr)
+        return 1
+    findings = check_docs(root)
+    for finding in findings:
+        print(finding.render())
+    checked = ", ".join(p.name for p in _doc_files(root))
+    status = "FAIL" if findings else "OK"
+    print(f"docs-check: {status} ({len(findings)} finding(s); checked {checked})")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    sys.exit(main())

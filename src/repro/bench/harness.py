@@ -16,6 +16,10 @@ on every push).  The schema is deliberately small and stable:
                                rispp-verify replay verdict
     stages             list    per-stage micro-benchmarks
     totals             dict    aggregate wall time
+    metrics            dict    deterministic repro.obs snapshot of one
+                               instrumented (untimed) scenario run — the
+                               same ``metrics`` key the chaos reports
+                               carry (see repro.obs.exporters.snapshot)
 
 Timing uses best-of-N ``perf_counter`` runs: the minimum is the least
 noisy estimator of the achievable time on a shared machine.
@@ -121,6 +125,7 @@ def build_report(
     quick: bool,
     end_to_end: dict,
     stages: list[StageResult],
+    metrics: dict | None = None,
 ) -> dict:
     """Assemble the schema-stable JSON report."""
     stage_dicts = [s.to_dict() for s in stages]
@@ -137,6 +142,7 @@ def build_report(
             "stage_wall_s": round(sum(s.wall_s for s in stages), 6),
             "stages": len(stages),
         },
+        "metrics": metrics if metrics is not None else {},
     }
 
 
@@ -183,6 +189,13 @@ def render_report(report: dict) -> str:
                 f"{s['name']:<24} {s['wall_s'] * 1000:>12.2f} "
                 f"{s['throughput']:>12,.0f} {s['unit']}"
             )
+    families = (report.get("metrics") or {}).get("metrics")
+    if families is not None:
+        lines.append("")
+        lines.append(
+            f"telemetry snapshot: {len(families)} metric families "
+            "(repro.obs, deterministic series)"
+        )
     return "\n".join(lines)
 
 

@@ -68,6 +68,7 @@ def run_si_stream(
     optimize: bool,
     energy_model=None,
     fault_injector=None,
+    metrics=None,
 ) -> RisppRuntime:
     """Fire the loop-head forecasts, then execute the SI stream.
 
@@ -80,7 +81,7 @@ def run_si_stream(
     """
     rt = RisppRuntime(
         library, containers, core_mhz=100.0, optimize=optimize,
-        energy_model=energy_model, faults=fault_injector,
+        energy_model=energy_model, faults=fault_injector, metrics=metrics,
     )
     now = warmup_cycles
     for _ in range(block_rounds):
@@ -217,7 +218,96 @@ def micro_stages(
             "trace_record", bench_record,
             iterations=rec_rounds, repeats=repeats, unit="events/s",
         ),
+        metrics_overhead_stage(
+            library, forecasts, containers=containers,
+            rounds=rounds, repeats=repeats,
+        ),
     ]
+
+
+def metrics_overhead_stage(
+    library: SILibrary,
+    forecasts: list[tuple[str, float]],
+    *,
+    containers: int,
+    rounds: int,
+    repeats: int,
+) -> StageResult:
+    """Telemetry cost on the ``execute_si`` hot loop (repro.obs).
+
+    Two numbers, measured on primed runtimes (rotations landed,
+    executions in hardware):
+
+    * ``enabled_overhead_pct`` — wall time of the hot loop with a live
+      :class:`~repro.obs.MetricRegistry` vs the disabled default
+      (informational; telemetry on is allowed to cost something).
+    * ``disabled_overhead_pct`` — the disabled path's *only* per-event
+      work is one pre-resolved boolean guard (``self._obs_on``); no
+      uninstrumented twin exists to diff against, so the guard is timed
+      directly in a burst loop against an empty loop and scaled to one
+      guard evaluation per execution.  The regression tests pin this
+      below 3%.
+    """
+    from ..obs import MetricRegistry
+
+    def primed(metrics) -> tuple[RisppRuntime, int]:
+        rt = RisppRuntime(
+            library, containers, core_mhz=100.0, metrics=metrics
+        )
+        for si_name, expected in forecasts:
+            rt.forecast(si_name, 0, expected=expected)
+        start = max((j.finish_at for j in rt.port.jobs), default=0) + 1
+        return rt, start
+
+    exec_rounds = rounds * 10
+    exec_si = forecasts[0][0]
+
+    def exec_loop(rt: RisppRuntime, clock: dict) -> Callable[[], None]:
+        def fn() -> None:
+            now = clock["now"]
+            for _ in range(exec_rounds):
+                now += rt.execute_si(exec_si, now)
+            clock["now"] = now
+
+        return fn
+
+    rt_off, start_off = primed(None)
+    off_s, _ = time_best(exec_loop(rt_off, {"now": start_off}), repeats=repeats)
+    rt_on, start_on = primed(MetricRegistry())
+    on_s, _ = time_best(exec_loop(rt_on, {"now": start_on}), repeats=repeats)
+
+    guard_rounds = exec_rounds * 50
+
+    def guard_loop() -> None:
+        for _ in range(guard_rounds):
+            if rt_off._obs_on:  # the disabled path's per-event work
+                pass
+
+    def empty_loop() -> None:
+        for _ in range(guard_rounds):
+            pass
+
+    guard_s, _ = time_best(guard_loop, repeats=repeats)
+    empty_s, _ = time_best(empty_loop, repeats=repeats)
+    guard_cost_s = max(0.0, guard_s - empty_s) / guard_rounds
+    per_exec_s = off_s / exec_rounds if exec_rounds else 0.0
+    disabled_pct = (
+        100.0 * guard_cost_s / per_exec_s if per_exec_s > 0 else 0.0
+    )
+    enabled_pct = 100.0 * (on_s - off_s) / off_s if off_s > 0 else 0.0
+    return StageResult(
+        name="metrics_overhead",
+        wall_s=off_s,
+        iterations=exec_rounds,
+        repeats=repeats,
+        unit="execs/s",
+        extra={
+            "disabled_overhead_pct": round(disabled_pct, 3),
+            "enabled_overhead_pct": round(enabled_pct, 2),
+            "guard_ns": round(guard_cost_s * 1e9, 2),
+            "enabled_wall_s": round(on_s, 6),
+        },
+    )
 
 
 # -- compile_and_run stages ---------------------------------------------------
@@ -296,6 +386,21 @@ def compile_and_run_stage(
 # -- suites -------------------------------------------------------------------
 
 
+def _metrics_snapshot(suite: str, *, quick: bool) -> dict:
+    """One untimed instrumented scenario run, as a deterministic snapshot.
+
+    The run is separate from the timed ones (which stay uninstrumented),
+    so the snapshot costs nothing on the measured paths and — being
+    deterministic-series-only — is byte-identical across report runs.
+    """
+    from ..obs import MetricRegistry, snapshot
+    from ..obs.suites import METRIC_SUITES
+
+    registry = MetricRegistry()
+    METRIC_SUITES[suite](registry, quick=quick)
+    return snapshot(registry, deterministic_only=True)
+
+
 def run_h264(*, quick: bool = False) -> dict:
     from ..apps.h264 import build_h264_library
     from ..sim.integration import compile_and_run
@@ -336,7 +441,8 @@ def run_h264(*, quick: bool = False) -> dict:
         rounds=20 if quick else 100, repeats=repeats,
     )
     return build_report(
-        "h264", quick=quick, end_to_end=end_to_end, stages=stages
+        "h264", quick=quick, end_to_end=end_to_end, stages=stages,
+        metrics=_metrics_snapshot("h264", quick=quick),
     )
 
 
@@ -398,7 +504,8 @@ def run_aes(*, quick: bool = False) -> dict:
         rounds=20 if quick else 100, repeats=repeats,
     )
     return build_report(
-        "aes", quick=quick, end_to_end=end_to_end, stages=stages
+        "aes", quick=quick, end_to_end=end_to_end, stages=stages,
+        metrics=_metrics_snapshot("aes", quick=quick),
     )
 
 
@@ -452,7 +559,8 @@ def run_synthetic(*, quick: bool = False) -> dict:
         rounds=20 if quick else 100, repeats=repeats,
     )
     return build_report(
-        "synthetic", quick=quick, end_to_end=end_to_end, stages=stages
+        "synthetic", quick=quick, end_to_end=end_to_end, stages=stages,
+        metrics=_metrics_snapshot("synthetic", quick=quick),
     )
 
 

@@ -11,7 +11,10 @@ rispp-verify (see :mod:`repro.analysis.verify`);
 paths and emits ``BENCH_runtime.json`` (see :mod:`repro.bench`);
 ``python -m repro chaos`` runs a seeded fault-injection campaign with
 scrubbing-based recovery and reports resilience metrics (see
-:mod:`repro.faults`).
+:mod:`repro.faults`);
+``python -m repro metrics`` runs one shipped workload with the
+:mod:`repro.obs` telemetry registry attached and prints the collected
+metrics in Prometheus text or JSONL snapshot form.
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 *asserts* the reproduction criteria; this CLI is the quick look.
 """
@@ -467,14 +470,62 @@ def _chaos(argv: list[str]) -> int:
     return 0 if chaos_ok(report) else 1
 
 
+def _metrics(argv: list[str]) -> int:
+    from .obs import METRIC_SUITES, run_metrics_suite, to_jsonl, to_prometheus
+
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description=(
+            "Run one shipped workload with the repro.obs telemetry "
+            "registry attached and print the collected metrics "
+            "(catalogue: docs/observability.md)."
+        ),
+    )
+    parser.add_argument(
+        "--suite", choices=sorted(METRIC_SUITES), default="synthetic",
+        help="workload to instrument (default: synthetic)",
+    )
+    parser.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help=(
+            "output format: Prometheus text exposition or JSONL snapshot "
+            "(default: prom)"
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scenario sizes (CI mode)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the export to a file",
+    )
+    args = parser.parse_args(argv)
+    registry, _runtime = run_metrics_suite(args.suite, quick=args.quick)
+    if args.format == "prom":
+        # The scrape view: everything recorded, span timers included.
+        text = to_prometheus(registry)
+    else:
+        # The machine-readable snapshot: deterministic series only, so
+        # the same suite+flags produce byte-identical output.
+        text = to_jsonl(registry)
+    print(text, end="")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
     return (
-        "usage: repro {list | all | lint | verify | bench | chaos | <experiment>}\n"
+        "usage: repro {list | all | lint | verify | bench | chaos | metrics "
+        "| <experiment>}\n"
         f"experiments: {names}\n"
         "run 'repro list' for descriptions; 'repro lint --help', "
-        "'repro verify --help', 'repro bench --help' and "
-        "'repro chaos --help' for tool flags"
+        "'repro verify --help', 'repro bench --help', 'repro chaos --help' "
+        "and 'repro metrics --help' for tool flags"
     )
 
 
@@ -492,6 +543,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench(rest)
     if command == "chaos":
         return _chaos(rest)
+    if command == "metrics":
+        return _metrics(rest)
     if rest:
         print(f"repro {command}: unexpected arguments {rest}", file=sys.stderr)
         return 2
@@ -512,7 +565,8 @@ def main(argv: list[str] | None = None) -> int:
     hint = ""
     close = difflib.get_close_matches(
         command,
-        [*EXPERIMENTS, "list", "all", "lint", "verify", "bench", "chaos"],
+        [*EXPERIMENTS, "list", "all", "lint", "verify", "bench", "chaos",
+         "metrics"],
         n=1,
     )
     if close:

@@ -98,7 +98,7 @@ def _synthetic_config() -> dict:
 
 
 def _run_stream(
-    config: dict, *, quick: bool, injector: FaultInjector | None
+    config: dict, *, quick: bool, injector: FaultInjector | None, metrics=None
 ) -> "RisppRuntime":
     from ..bench.suites import run_si_stream
 
@@ -111,6 +111,7 @@ def _run_stream(
         block_rounds=rounds,
         optimize=True,
         fault_injector=injector,
+        metrics=metrics,
     )
     end = runtime.trace.last_cycle
     for si_name, _ in config["forecasts"]:
@@ -118,7 +119,7 @@ def _run_stream(
     return runtime
 
 
-def _run_aes(*, injector: FaultInjector | None):
+def _run_aes(*, injector: FaultInjector | None, metrics=None):
     from ..apps.aes import (
         build_aes_library,
         build_aes_program,
@@ -144,6 +145,7 @@ def _run_aes(*, injector: FaultInjector | None):
             run_env={"plaintext": b"\x21" * 16, "key": b"\x42" * 16},
             profile_runs=2,
             fault_injector=injector,
+            metrics=metrics,
         )
 
 
@@ -229,13 +231,20 @@ def run_chaos_suite(
         backoff_cycles=backoff_cycles,
     )
 
-    # The chaos run proper.
+    # The chaos run proper — instrumented, so the report can embed a
+    # deterministic telemetry snapshot (the shared ``metrics`` key).
+    from ..obs import MetricRegistry
+    from ..obs.exporters import snapshot
+
+    registry = MetricRegistry()
     if name == "aes":
-        chaos_flow = _run_aes(injector=injector)
+        chaos_flow = _run_aes(injector=injector, metrics=registry)
         runtime = chaos_flow.runtime
         functional_match = chaos_flow.result.env == baseline_flow.result.env
     else:
-        runtime = _run_stream(config, quick=quick, injector=injector)
+        runtime = _run_stream(
+            config, quick=quick, injector=injector, metrics=registry
+        )
         # Stream suites carry no data environment; "functionally equal"
         # means every SI call completed, exactly as many as fault-free.
         functional_match = (
@@ -293,6 +302,7 @@ def run_chaos_suite(
             "baseline_si_executions": baseline_rt.stats.si_executions,
         },
         "totals": asdict(runtime.stats),
+        "metrics": snapshot(registry, deterministic_only=True),
     }
 
 

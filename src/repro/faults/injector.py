@@ -103,6 +103,7 @@ class FaultInjector:
         self._repair_of: dict[int, "RotationJob"] = {}
         self._last_mark = 0
         self._runtime: "RisppRuntime | None" = None
+        self._bind_metrics(None)
 
     # -- wiring -----------------------------------------------------------
 
@@ -120,6 +121,21 @@ class FaultInjector:
                     f"but the fabric has {len(runtime.fabric)} containers"
                 )
         self._runtime = runtime
+        self._bind_metrics(runtime.metrics)
+
+    def _bind_metrics(self, metrics) -> None:
+        """Adopt the attached runtime's registry (DISABLED before attach)."""
+        from ..obs import DISABLED
+
+        obs = metrics if metrics is not None else DISABLED
+        self._obs_on = obs.enabled
+        injected = obs.counter("faults_injected_total")
+        self._m_injected = {
+            kind: injected.labels(kind=kind.value) for kind in FaultKind
+        }
+        self._m_repair_cycles = obs.histogram("repair_cycles")
+        self._m_quarantine = obs.gauge("quarantine_depth")
+        self._m_degraded = obs.counter("degraded_cycles_total")
 
     # -- clock interface (called by RisppRuntime.advance) -----------------
 
@@ -168,6 +184,8 @@ class FaultInjector:
 
     def _inject(self, runtime: "RisppRuntime", event: FaultEvent, t: int) -> None:
         self.stats.faults_injected += 1
+        if self._obs_on:
+            self._m_injected[event.kind].inc()
         if event.kind is FaultKind.TRANSIENT:
             self.stats.transients += 1
             self._inject_transient(runtime, event.container, t)
@@ -306,6 +324,8 @@ class FaultInjector:
         )
         lost = container.quarantine()
         self.stats.containers_quarantined += 1
+        if self._obs_on:
+            self._m_quarantine.inc()
         runtime.trace.record(
             t,
             EventKind.CONTAINER_QUARANTINED,
@@ -387,6 +407,9 @@ class FaultInjector:
             self.stats.containers_repaired += 1
             self.stats.mttr_cycles_total += mttr
             self.stats.mttr_cycles_max = max(self.stats.mttr_cycles_max, mttr)
+            if self._obs_on:
+                self._m_repair_cycles.observe(mttr)
+                self._m_quarantine.dec()
             runtime.trace.record(
                 job.finish_at,
                 EventKind.CONTAINER_REPAIRED,
@@ -401,7 +424,8 @@ class FaultInjector:
         """A container was retired: close any open episode bookkeeping."""
         self._mark(now)
         self._corrupted.pop(container_id, None)
-        self._quarantined.pop(container_id, None)
+        if self._quarantined.pop(container_id, None) is not None and self._obs_on:
+            self._m_quarantine.dec()
         self._repair_of.pop(container_id, None)
         self._attempts = {
             key: n for key, n in self._attempts.items() if key[0] != container_id
@@ -433,6 +457,8 @@ class FaultInjector:
         if t > self._last_mark:
             if self._corrupted or self._quarantined:
                 self.stats.degraded_cycles += t - self._last_mark
+                if self._obs_on:
+                    self._m_degraded.inc(t - self._last_mark)
             self._last_mark = t
 
     def open_episodes(self) -> int:

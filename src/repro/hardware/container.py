@@ -37,6 +37,10 @@ class AtomContainer:
     last_used: int = 0
     #: Number of rotations this container has undergone.
     rotations: int = field(default=0)
+    #: Number of evictions (content dropped without a rotation landing);
+    #: ``rotations + evictions`` is the container's churn, summed by the
+    #: fabric's ``container_churn_total`` telemetry.
+    evictions: int = field(default=0)
     #: Permanently out of service (fabric defect); never holds Atoms again.
     failed: bool = False
     #: A transient SEU flipped configuration bits of the loaded Atom: the
@@ -124,6 +128,8 @@ class AtomContainer:
                 f"container {self.container_id} is rotating and cannot be quarantined"
             )
         lost = self.atom
+        if lost is not None:
+            self.evictions += 1
         self.state = ContainerState.EMPTY
         self.atom = None
         self.ready_at = None
@@ -230,6 +236,8 @@ class AtomContainer:
                 f"container {self.container_id} is rotating and cannot be evicted"
             )
         previous = self.atom
+        if previous is not None:
+            self.evictions += 1
         self.state = ContainerState.EMPTY
         self.atom = None
         self.corrupted = False

@@ -21,9 +21,14 @@ equivalence).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.atom import AtomCatalogue
 from ..core.molecule import Molecule
 from .container import AtomContainer, ContainerState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import MetricRegistry
 
 
 class Fabric:
@@ -36,6 +41,7 @@ class Fabric:
         *,
         static_multiplicity: int = 16,
         cache: bool = True,
+        metrics: "MetricRegistry | None" = None,
     ):
         if num_containers < 0:
             raise ValueError("container count cannot be negative")
@@ -59,6 +65,42 @@ class Fabric:
         #: generation -> memoized view; one entry each, replaced on miss.
         self._available_cache: tuple[int, Molecule] | None = None
         self._loaded_cache: tuple[int, Molecule] | None = None
+        self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics: "MetricRegistry | None") -> None:
+        """Register the fabric's telemetry (callback gauges + counters).
+
+        Occupancy and churn are *sampled* at collection time instead of
+        updated per mutation — the state already lives in the container
+        fields, so the fabric's hot paths carry zero telemetry cost.
+        """
+        from ..obs import DISABLED
+
+        obs = metrics if metrics is not None else DISABLED
+        self._m_failures = obs.counter("container_failures_total")
+        if not obs.enabled:
+            return
+        states = obs.gauge("containers_state")
+        for state in ("loaded", "loading", "empty", "failed", "quarantined"):
+            states.labels(state=state).set_callback(
+                lambda s=state: self._count_state(s)
+            )
+        obs.gauge("fabric_utilisation_ratio").set_callback(self.utilisation)
+        obs.counter("container_churn_total").set_callback(
+            lambda: float(sum(c.rotations + c.evictions for c in self.containers))
+        )
+
+    def _count_state(self, state: str) -> float:
+        """Container census for the ``containers_state`` gauge."""
+        if state == "failed":
+            return float(sum(1 for c in self.containers if c.failed))
+        if state == "quarantined":
+            return float(sum(1 for c in self.containers if c.quarantined))
+        in_service = [
+            c for c in self.containers if not c.failed and not c.quarantined
+        ]
+        wanted = ContainerState(state)
+        return float(sum(1 for c in in_service if c.state is wanted))
 
     # -- capacity ---------------------------------------------------------
 
@@ -152,7 +194,10 @@ class Fabric:
                 f"container id {container_id} out of range "
                 f"(fabric has {len(self.containers)} containers)"
             )
-        return self.containers[container_id].mark_failed()
+        container = self.containers[container_id]
+        if not container.failed:
+            self._m_failures.inc()
+        return container.mark_failed()
 
     def loaded_containers(self) -> list[AtomContainer]:
         return [c for c in self.containers if c.is_available()]

@@ -19,10 +19,14 @@ completions at its finish.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.atom import AtomCatalogue
 from .atom_specs import SELECTMAP_BYTES_PER_US
 from .fabric import Fabric
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import MetricRegistry
 
 
 @dataclass
@@ -63,6 +67,7 @@ class ReconfigurationPort:
         *,
         core_mhz: float = 100.0,
         bytes_per_us: float = SELECTMAP_BYTES_PER_US,
+        metrics: "MetricRegistry | None" = None,
     ):
         if core_mhz <= 0:
             raise ValueError("core frequency must be positive")
@@ -75,6 +80,17 @@ class ReconfigurationPort:
         self.jobs: list[RotationJob] = []
         self._pending: list[RotationJob] = []
         self._reserved: set[int] = set()
+        self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics: "MetricRegistry | None") -> None:
+        from ..obs import DISABLED
+
+        obs = metrics if metrics is not None else DISABLED
+        self._obs_on = obs.enabled
+        self._m_queue_depth = obs.gauge("port_queue_depth")
+        self._m_latency = obs.histogram("rotation_latency_cycles")
+        self._m_queue_delay = obs.histogram("rotation_queue_delay_cycles")
+        self._m_busy = obs.counter("port_busy_cycles_total")
 
     def rotation_cycles(self, atom: str) -> int:
         """Rotation latency of one Atom kind, in core cycles."""
@@ -142,6 +158,8 @@ class ReconfigurationPort:
         self.jobs.append(job)
         self._pending.append(job)
         self._reserved.add(container_id)
+        if self._obs_on:
+            self._m_queue_depth.set(len(self._pending))
         return job
 
     def advance(self, fabric: Fabric, now: int) -> list[RotationJob]:
@@ -176,6 +194,12 @@ class ReconfigurationPort:
         for job in completed:
             self._pending.remove(job)
             self._reserved.discard(job.container_id)
+        if self._obs_on and completed:
+            for job in completed:
+                self._m_latency.observe(job.finish_at - job.requested_at)
+                self._m_queue_delay.observe(job.queue_delay)
+                self._m_busy.inc(job.duration)
+            self._m_queue_depth.set(len(self._pending))
         return completed
 
     def _drop_failed(self, fabric: Fabric, now: int) -> None:
@@ -194,6 +218,8 @@ class ReconfigurationPort:
                 self._reserved.discard(job.container_id)
         if not dropped:
             return
+        if self._obs_on:
+            self._m_queue_depth.set(len(self._pending))
         self._resequence(now)
 
     def _resequence(self, now: int) -> None:
@@ -237,6 +263,8 @@ class ReconfigurationPort:
                 job.aborted = True
                 self._pending.remove(job)
                 self._reserved.discard(job.container_id)
+                if self._obs_on:
+                    self._m_queue_depth.set(len(self._pending))
                 self._resequence(now)
                 return job
         return None

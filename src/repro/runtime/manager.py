@@ -42,6 +42,7 @@ from .rotation import future_population, plan_rotations
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injector import FaultInjector
+    from ..obs import MetricRegistry
 
 
 @dataclass
@@ -97,18 +98,33 @@ class RisppRuntime:
         energy_model=None,
         optimize: bool = True,
         faults: "FaultInjector | None" = None,
+        metrics: "MetricRegistry | None" = None,
     ):
+        from ..obs import DISABLED
+
         self.library = library
+        #: The telemetry registry shared by every component of this
+        #: runtime (fabric, port, monitor, fault injector) — the
+        #: :data:`repro.obs.DISABLED` no-op registry unless one is given.
+        self.metrics = metrics if metrics is not None else DISABLED
         self.fabric = Fabric(
             library.catalogue,
             num_containers,
             static_multiplicity=static_multiplicity,
             cache=optimize,
+            metrics=self.metrics,
         )
-        self.port = ReconfigurationPort(library.catalogue, core_mhz=core_mhz)
+        self.port = ReconfigurationPort(
+            library.catalogue, core_mhz=core_mhz, metrics=self.metrics
+        )
         self.policy = policy if policy is not None else LRUPolicy()
         self.trace = trace if trace is not None else Trace()
         self.monitor = monitor if monitor is not None else ForecastMonitor()
+        if metrics is not None:
+            # Share the runtime's registry with a caller-provided monitor
+            # (a fresh default monitor gets it too — same call).
+            self.monitor.bind_metrics(metrics)
+        self._bind_metrics()
         self.forecasting = forecasting
         self.selection = selection
         #: Optional :class:`repro.hardware.energy.EnergyModel`; when set,
@@ -141,6 +157,35 @@ class RisppRuntime:
         self._faults = faults
         if faults is not None:
             faults.attach(self)
+
+    def _bind_metrics(self) -> None:
+        """Pre-resolve instrument children for the hot paths.
+
+        Each handle is bound once here so ``execute_si`` pays one boolean
+        guard plus direct method calls — no per-event name or label
+        lookups.  With telemetry disabled every handle is the shared
+        no-op :data:`repro.obs.NULL` and the guard skips the block.
+        """
+        obs = self.metrics
+        self._obs_on = obs.enabled
+        execs = obs.counter("si_executions_total")
+        cycles = obs.counter("si_cycles_total")
+        self._m_exec_sw = execs.labels(mode="sw")
+        self._m_exec_hw = execs.labels(mode="hw")
+        self._m_cycles_sw = cycles.labels(mode="sw")
+        self._m_cycles_hw = cycles.labels(mode="hw")
+        self._m_si_latency = obs.histogram("si_latency_cycles")
+        replans = obs.counter("replans_total")
+        self._m_replans_planned = replans.labels(outcome="planned")
+        self._m_replans_skipped = replans.labels(outcome="skipped")
+        self._m_replan_time = obs.histogram("replan_duration_seconds")
+        rotations = obs.counter("rotations_requested_total")
+        self._m_rot_planned = rotations.labels(kind="planned")
+        self._m_rot_repair = rotations.labels(kind="repair")
+        self._m_mode_switches = obs.counter("mode_switches_total")
+        forecasts = obs.counter("forecast_events_total")
+        self._m_fc_fired = forecasts.labels(event="fired")
+        self._m_fc_ended = forecasts.labels(event="ended")
 
     # -- time ------------------------------------------------------------
 
@@ -228,6 +273,8 @@ class RisppRuntime:
             expected=tuned,
             priority=priority,
         )
+        if self._obs_on:
+            self._m_fc_fired.inc()
         if self.forecasting:
             self._replan(now, triggering_task=task)
 
@@ -237,6 +284,8 @@ class RisppRuntime:
         self.monitor.forecast_ended(task, si_name, now)
         self._active.pop((task, si_name), None)
         self.trace.record(now, EventKind.FORECAST_END, task=task, si=si_name)
+        if self._obs_on:
+            self._m_fc_ended.inc()
         if self.forecasting:
             # Freed containers may enable upgrades for the remaining SIs;
             # replan on behalf of the task(s) still holding forecasts.
@@ -276,6 +325,8 @@ class RisppRuntime:
         previous = self._last_mode.get((task, si_name))
         if previous is not None and previous != mode:
             self.stats.mode_switches += 1
+            if self._obs_on:
+                self._m_mode_switches.inc()
             self.trace.record(
                 now,
                 EventKind.SI_MODE_SWITCH,
@@ -323,6 +374,14 @@ class RisppRuntime:
                 stats.sw_executions += 1
             else:
                 stats.hw_executions += 1
+        if self._obs_on:
+            if impl is None:
+                self._m_exec_sw.inc()
+                self._m_cycles_sw.inc(cycles)
+            else:
+                self._m_exec_hw.inc()
+                self._m_cycles_hw.inc(cycles)
+            self._m_si_latency.observe(cycles)
         return cycles
 
     def fail_container(self, container_id: int, now: int) -> None:
@@ -440,25 +499,32 @@ class RisppRuntime:
             # selection and planning are deterministic in (weights,
             # future population), so this round is a guaranteed no-op.
             self.stats.replans_skipped += 1
+            if self._obs_on:
+                self._m_replans_skipped.inc()
             return
         self.stats.replans += 1
+        if self._obs_on:
+            self._m_replans_planned.inc()
         requests = [
             ForecastedSI(self.library.get(name), weight)
             for name, weight in sorted(weights.items())
         ]
-        result = self.selection(
-            self.library, requests, len(self.fabric), loaded=loaded
-        )
-        plan = plan_rotations(
-            self.library,
-            self.fabric,
-            self.port,
-            result.demand,
-            self.policy,
-            now,
-            owner=triggering_task,
-            kind_priority=self._rotation_priority(result.chosen, weights, loaded),
-        )
+        with self._m_replan_time.time():
+            result = self.selection(
+                self.library, requests, len(self.fabric), loaded=loaded
+            )
+            plan = plan_rotations(
+                self.library,
+                self.fabric,
+                self.port,
+                result.demand,
+                self.policy,
+                now,
+                owner=triggering_task,
+                kind_priority=self._rotation_priority(
+                    result.chosen, weights, loaded
+                ),
+            )
         for container_id, old_owner, new_owner in plan.reallocated:
             self.trace.record(
                 now,
@@ -489,6 +555,8 @@ class RisppRuntime:
         and retry requests, so stats and trace schema stay uniform.
         """
         self.stats.rotations_requested += 1
+        if self._obs_on:
+            (self._m_rot_repair if repair else self._m_rot_planned).inc()
         if self.energy_model is not None:
             kind = self.library.catalogue.get(job.atom)
             self.stats.rotation_energy_nj += (

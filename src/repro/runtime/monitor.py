@@ -14,6 +14,10 @@ expectation used the next time the same (task, SI) forecast fires.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import MetricRegistry
 
 
 @dataclass
@@ -58,12 +62,31 @@ class SIForecastStats:
 class ForecastMonitor:
     """Observes SI executions and fine-tunes forecast expectations."""
 
-    def __init__(self, *, smoothing: float = 0.5):
+    def __init__(
+        self,
+        *,
+        smoothing: float = 0.5,
+        metrics: "MetricRegistry | None" = None,
+    ):
         if not 0 < smoothing <= 1:
             raise ValueError("smoothing factor must be in (0, 1]")
         self.smoothing = smoothing
         self._stats: dict[tuple[str, str], SIForecastStats] = {}
         self._open: dict[tuple[str, str], ForecastWindow] = {}
+        self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: "MetricRegistry | None") -> None:
+        """(Re)bind telemetry — the runtime calls this to share its registry."""
+        from ..obs import DISABLED
+
+        obs = metrics if metrics is not None else DISABLED
+        self._obs_on = obs.enabled
+        self._m_error = obs.histogram("forecast_error_abs")
+        self._m_hit = obs.counter("forecast_windows_total").labels(outcome="hit")
+        self._m_miss = obs.counter("forecast_windows_total").labels(outcome="miss")
+        self._m_drift = obs.gauge("forecast_drift_ratio")
+        self._windows_seen = 0
+        self._abs_error_sum = 0.0
 
     # -- the forecast lifecycle -------------------------------------------
 
@@ -114,6 +137,13 @@ class ForecastMonitor:
             (1 - self.smoothing) * stats.expectation
             + self.smoothing * window.observed
         )
+        if self._obs_on:
+            error = abs(window.predicted - window.observed)
+            self._m_error.observe(error)
+            (self._m_hit if window.observed else self._m_miss).inc()
+            self._windows_seen += 1
+            self._abs_error_sum += error
+            self._m_drift.set(self._abs_error_sum / self._windows_seen)
 
     # -- queries -------------------------------------------------------------
 

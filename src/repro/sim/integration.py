@@ -164,6 +164,7 @@ def compile_and_run(
     optimize: bool = True,
     energy_model=None,
     fault_injector=None,
+    metrics=None,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
@@ -188,7 +189,7 @@ def compile_and_run(
         _enforce(lint_flow(cfg, library, annotation, fdfs=fdfs, subject="flow"))
     runtime = RisppRuntime(
         library, containers, core_mhz=core_mhz, optimize=optimize,
-        energy_model=energy_model, faults=fault_injector,
+        energy_model=energy_model, faults=fault_injector, metrics=metrics,
     )
     result = run_annotated_program(
         program, annotation, runtime, dict(run_env or {}), lint=False

@@ -20,7 +20,7 @@ from repro.sim import EventKind, Trace
 #: Layout contract of BENCH_runtime.json (CI uploads it on every push).
 REPORT_KEYS = {
     "schema_version", "suite", "quick", "timestamp_utc",
-    "python", "platform", "end_to_end", "stages", "totals",
+    "python", "platform", "end_to_end", "stages", "totals", "metrics",
 }
 END_TO_END_KEYS = {
     "scenario", "baseline_s", "optimized_s", "speedup", "trace_equal",
@@ -99,7 +99,32 @@ class TestSuites:
         names = [s["name"] for s in synthetic_report["stages"]]
         assert names == [
             "selection", "rotation_planning", "execute_si", "trace_record",
+            "metrics_overhead",
         ]
+
+    def test_disabled_telemetry_overhead_is_bounded(self, synthetic_report):
+        stage = next(
+            s for s in synthetic_report["stages"]
+            if s["name"] == "metrics_overhead"
+        )
+        extra = stage["extra"]
+        assert extra["disabled_overhead_pct"] < 3.0
+        # The enabled path must actually have run (sanity, not a bound).
+        assert extra["enabled_wall_s"] > 0
+
+    def test_report_embeds_deterministic_metrics_snapshot(
+        self, synthetic_report
+    ):
+        from repro.obs import SNAPSHOT_KIND
+
+        snap = synthetic_report["metrics"]
+        assert snap["kind"] == SNAPSHOT_KIND
+        assert snap["deterministic_only"] is True
+        names = {family["name"] for family in snap["metrics"]}
+        assert "rispp_si_executions_total" in names
+        assert "rispp_rotation_latency_cycles" in names
+        # Wall-clock span timers must not leak into the snapshot.
+        assert "rispp_replan_duration_seconds" not in names
 
     def test_report_round_trips_through_json(self, synthetic_report, tmp_path):
         path = tmp_path / "BENCH_runtime.json"

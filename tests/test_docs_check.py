@@ -1,0 +1,137 @@
+"""The docs/code cross-checker behind the CI ``docs`` job."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.docs_check import check_docs, main
+from repro.obs.catalogue import METRICS
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _observability_stub() -> str:
+    """A minimal observability.md covering every declared metric."""
+    lines = ["# Metrics", ""]
+    lines += [f"- `{spec.full_name}`" for spec in METRICS.values()]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A minimal healthy repo layout the checker accepts."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src" / "repro").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "docs" / "observability.md").write_text(
+        _observability_stub()
+    )
+    return tmp_path
+
+
+def _findings(root):
+    return [f.render() for f in check_docs(root)]
+
+
+class TestChecks:
+    def test_healthy_repo_is_clean(self, repo):
+        assert _findings(repo) == []
+
+    def test_missing_src_path_is_flagged(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "See `src/repro/nope.py` for details.\n"
+        )
+        assert any("src/repro/nope.py" in f for f in _findings(repo))
+
+    def test_existing_src_path_passes(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "See `src/repro/mod.py` for details.\n"
+        )
+        assert _findings(repo) == []
+
+    def test_src_paths_checked_even_in_fences(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "```\ncat src/repro/gone.py\n```\n"
+        )
+        assert any("src/repro/gone.py" in f for f in _findings(repo))
+
+    def test_broken_relative_link_is_flagged(self, repo):
+        (repo / "docs" / "guide.md").write_text("[x](missing.md)\n")
+        assert any("missing.md" in f for f in _findings(repo))
+
+    def test_working_link_and_anchors_pass(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "[obs](observability.md#metrics) and [web](https://x.test/)\n"
+            "and [frag](#local)\n"
+        )
+        assert _findings(repo) == []
+
+    def test_unknown_rule_id_is_flagged(self, repo):
+        (repo / "docs" / "guide.md").write_text("Rule LAT999 applies.\n")
+        assert any("LAT999" in f for f in _findings(repo))
+
+    def test_known_rule_id_passes(self, repo):
+        (repo / "docs" / "guide.md").write_text("Rule TRC001 applies.\n")
+        assert _findings(repo) == []
+
+    def test_rule_ids_in_fences_are_ignored(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "```\nerror: unknown rule LAT999\n```\n"
+        )
+        assert _findings(repo) == []
+
+    def test_undeclared_metric_is_flagged(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "Watch rispp_bogus_series_total closely.\n"
+        )
+        assert any("rispp_bogus_series_total" in f for f in _findings(repo))
+
+    def test_declared_metric_and_histogram_suffixes_pass(self, repo):
+        (repo / "docs" / "guide.md").write_text(
+            "rispp_si_executions_total and rispp_si_latency_cycles_bucket\n"
+        )
+        assert _findings(repo) == []
+
+    def test_code_identifiers_are_not_stale_metrics(self, repo):
+        # rispp_* names that exist in the source tree are code
+        # references (e.g. the rispp_area function), not metric drift.
+        (repo / "src" / "repro" / "mod.py").write_text(
+            "def rispp_custom_helper():\n    return 1\n"
+        )
+        (repo / "docs" / "guide.md").write_text(
+            "Call `rispp_custom_helper` for the area.\n"
+        )
+        assert _findings(repo) == []
+
+
+class TestObservabilityCoverage:
+    def test_missing_catalogue_file_is_flagged(self, repo):
+        (repo / "docs" / "observability.md").unlink()
+        assert any("is missing" in f for f in _findings(repo))
+
+    def test_undocumented_metric_is_flagged(self, repo):
+        stub = _observability_stub().replace("rispp_quarantine_depth", "x")
+        (repo / "docs" / "observability.md").write_text(stub)
+        assert any("rispp_quarantine_depth" in f for f in _findings(repo))
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, repo, capsys):
+        assert main([str(repo)]) == 0
+        assert "docs-check: OK" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, repo, capsys):
+        (repo / "docs" / "guide.md").write_text("src/repro/nope.py\n")
+        assert main([str(repo)]) == 1
+        out = capsys.readouterr().out
+        assert "docs-check: FAIL" in out
+        assert "guide.md:1" in out
+
+    def test_exit_one_without_docs_dir(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 1
+        assert "no docs/" in capsys.readouterr().err
+
+
+class TestRealRepo:
+    def test_shipped_docs_are_clean(self):
+        assert _findings(REPO_ROOT) == []

@@ -1,0 +1,55 @@
+"""``python -m repro metrics``: suites, formats, output files."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import SNAPSHOT_KIND, parse_prometheus
+
+
+class TestMetricsCLI:
+    def test_prom_format_covers_the_catalogue(self, capsys):
+        code = main(["metrics", "--suite", "synthetic", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        families = [
+            line.split()[2] for line in out.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert len(families) >= 12
+        assert all(name.startswith("rispp_") for name in families)
+        # The exposition is machine-parseable.
+        assert set(parse_prometheus(out)) == set(families)
+
+    def test_json_format_is_jsonl(self, capsys):
+        code = main([
+            "metrics", "--suite", "synthetic", "--quick", "--format", "json",
+        ])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == SNAPSHOT_KIND
+        assert header["families"] == len(lines) - 1
+
+    def test_output_writes_the_exposition(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        code = main([
+            "metrics", "--suite", "synthetic", "--quick",
+            "--output", str(path),
+        ])
+        assert code == 0
+        assert "# TYPE " in path.read_text()
+        assert str(path) in capsys.readouterr().err
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["metrics", "--suite", "mp3"])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["metrics", "--format", "xml"])
+
+    def test_usage_mentions_metrics(self, capsys):
+        main([])
+        assert "metrics" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""repro.obs exporters: Prometheus round trip, deterministic JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SNAPSHOT_KIND,
+    SNAPSHOT_SCHEMA_VERSION,
+    MetricRegistry,
+    exposition_state,
+    parse_prometheus,
+    run_metrics_suite,
+    snapshot,
+    to_jsonl,
+    to_prometheus,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_registry():
+    registry, _runtime = run_metrics_suite("synthetic", quick=True)
+    return registry
+
+
+class TestPrometheus:
+    def test_exposition_has_help_and_type_headers(self, suite_registry):
+        text = to_prometheus(suite_registry)
+        assert text.endswith("\n")
+        families = [
+            line.split()[2] for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert len(families) == len(set(families))
+        assert "rispp_si_executions_total" in families
+        assert "rispp_rotation_latency_cycles" in families
+
+    def test_histograms_render_cumulative_buckets(self, suite_registry):
+        text = to_prometheus(suite_registry)
+        assert 'rispp_si_latency_cycles_bucket{le="+Inf"}' in text
+        assert "rispp_si_latency_cycles_sum" in text
+        assert "rispp_si_latency_cycles_count" in text
+
+    def test_round_trip_is_lossless(self, suite_registry):
+        text = to_prometheus(suite_registry)
+        assert parse_prometheus(text) == exposition_state(suite_registry)
+
+    def test_round_trip_survives_deterministic_filter(self, suite_registry):
+        text = to_prometheus(suite_registry, deterministic_only=True)
+        assert parse_prometheus(text) == exposition_state(
+            suite_registry, deterministic_only=True
+        )
+
+    def test_parse_rejects_sample_before_type(self):
+        with pytest.raises(ValueError, match="matches no declared family"):
+            parse_prometheus("rispp_mode_switches_total 3\n")
+
+    def test_parse_rejects_unknown_family(self):
+        text = (
+            "# TYPE rispp_mode_switches_total counter\n"
+            "rispp_bogus_series 1\n"
+        )
+        with pytest.raises(ValueError, match="matches no declared family"):
+            parse_prometheus(text)
+
+
+class TestSnapshot:
+    def test_schema_header(self, suite_registry):
+        snap = snapshot(suite_registry)
+        assert snap["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        assert snap["kind"] == SNAPSHOT_KIND
+        assert snap["deterministic_only"] is True
+        assert snap["metrics"]
+
+    def test_deterministic_snapshot_drops_span_timers(self, suite_registry):
+        names = {m["name"] for m in snapshot(suite_registry)["metrics"]}
+        assert "rispp_replan_duration_seconds" not in names
+        # ... but the non-deterministic export keeps them.
+        full = {
+            m["name"]
+            for m in snapshot(suite_registry, deterministic_only=False)[
+                "metrics"
+            ]
+        }
+        assert "rispp_replan_duration_seconds" in full
+
+    def test_snapshot_is_json_safe(self, suite_registry):
+        snap = snapshot(suite_registry)
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_integral_values_render_as_ints(self, suite_registry):
+        for family in snapshot(suite_registry)["metrics"]:
+            for sample in family["samples"]:
+                value = sample.get("value", sample.get("count"))
+                if float(value).is_integer():
+                    assert isinstance(value, int), family["name"]
+
+
+class TestJsonl:
+    def test_header_plus_one_line_per_family(self, suite_registry):
+        lines = to_jsonl(suite_registry).splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == SNAPSHOT_KIND
+        assert header["families"] == len(lines) - 1
+        for line in lines[1:]:
+            assert json.loads(line)["name"].startswith("rispp_")
+
+    def test_seeded_runs_snapshot_byte_identically(self):
+        reg_a, _ = run_metrics_suite("synthetic", quick=True)
+        reg_b, _ = run_metrics_suite("synthetic", quick=True)
+        assert to_jsonl(reg_a) == to_jsonl(reg_b)
+        assert snapshot(reg_a) == snapshot(reg_b)
+
+    def test_empty_registry_exports_cleanly(self):
+        reg = MetricRegistry()
+        assert to_prometheus(reg) == "\n"
+        assert snapshot(reg)["metrics"] == []

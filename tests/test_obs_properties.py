@@ -1,0 +1,92 @@
+"""Property: telemetry counts equal trace-event counts for *any*
+interleaving of forecast / execute_si / fail_container operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.suites import build_synthetic_library
+from repro.obs import MetricRegistry
+from repro.runtime import RisppRuntime
+from repro.sim import EventKind
+
+CONTAINERS = 4
+SIS = 3
+
+#: One operation: (kind, subject index).  Indices wrap over the SIs
+#: (or containers for "fail"), so every drawn pair is valid.
+_OP = st.tuples(
+    st.sampled_from(["forecast", "execute", "end", "fail"]),
+    st.integers(min_value=0, max_value=max(SIS, CONTAINERS) - 1),
+)
+
+
+def _drive(ops):
+    """Apply an op sequence; return the registry and the runtime."""
+    registry = MetricRegistry()
+    runtime = RisppRuntime(
+        build_synthetic_library(kinds=5, sis=SIS),
+        CONTAINERS,
+        metrics=registry,
+    )
+    now = 0
+    for kind, index in ops:
+        if kind == "forecast":
+            runtime.forecast(f"SI{index % SIS}", now, expected=16.0)
+        elif kind == "execute":
+            now += runtime.execute_si(f"SI{index % SIS}", now)
+        elif kind == "end":
+            runtime.forecast_end(f"SI{index % SIS}", now)
+        else:
+            runtime.fail_container(index % CONTAINERS, now)
+        now += 100
+    return registry, runtime
+
+
+def _events(runtime, kind):
+    return sum(1 for e in runtime.trace if e.kind is kind)
+
+
+@given(ops=st.lists(_OP, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_histogram_counts_equal_trace_event_counts(ops):
+    registry, runtime = _drive(ops)
+    assert registry.histogram("si_latency_cycles").count == _events(
+        runtime, EventKind.SI_EXECUTED
+    )
+    assert registry.histogram("rotation_latency_cycles").count == _events(
+        runtime, EventKind.ROTATION_COMPLETED
+    )
+
+
+@given(ops=st.lists(_OP, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_counters_equal_stats_and_trace(ops):
+    registry, runtime = _drive(ops)
+    execs = registry.counter("si_executions_total")
+    assert execs.labels(mode="sw").current() == runtime.stats.sw_executions
+    assert execs.labels(mode="hw").current() == runtime.stats.hw_executions
+    events = registry.counter("forecast_events_total")
+    assert events.labels(event="fired").current() == _events(
+        runtime, EventKind.FORECAST
+    )
+    assert events.labels(event="ended").current() == _events(
+        runtime, EventKind.FORECAST_END
+    )
+    assert registry.counter(
+        "container_failures_total"
+    ).current() == _events(runtime, EventKind.CONTAINER_FAILED)
+    rotations = registry.counter("rotations_requested_total")
+    assert (
+        rotations.labels(kind="planned").current()
+        + rotations.labels(kind="repair").current()
+    ) == _events(runtime, EventKind.ROTATION_REQUESTED)
+
+
+@given(ops=st.lists(_OP, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_deterministic_snapshot_is_reproducible(ops):
+    from repro.obs import snapshot
+
+    snap_a = snapshot(_drive(ops)[0])
+    snap_b = snapshot(_drive(ops)[0])
+    assert snap_a == snap_b
