@@ -17,16 +17,29 @@ already-constructed RISPP artifacts *without executing a simulation*:
 * **trace** — rispp-verify's model-based replay of simulation traces
   against a reference state machine of the §3/§5 runtime invariants;
 * **feasibility** — rispp-verify's static prover of per-SI worst-case
-  rotation latencies, upgrade starvation and dead molecules/atoms.
+  rotation latencies, upgrade starvation and dead molecules/atoms;
+* **explore** — rispp-explore's bounded model checker: exhaustive
+  small-scope state-space exploration of the live rotation runtime,
+  proving the MC invariants or emitting verifier-replayable minimized
+  counterexamples.
 
 Entry points: :func:`run_checks` (registry driver over mixed artifacts),
 the per-family ``lint_*`` helpers, :func:`verify_trace` /
-:func:`verify_runtime` / :func:`prove_feasibility`, and
-``python -m repro lint`` / ``python -m repro verify``.
+:func:`verify_runtime` / :func:`prove_feasibility`, :func:`explore`, and
+``python -m repro lint`` / ``python -m repro verify`` /
+``python -m repro explore``.
 The rule catalogue is documented in ``docs/analysis.md``.
 """
 
 from .diagnostics import Diagnostic, DiagnosticReport, LintError, Severity
+from .explore import (
+    EXPLORE_SCOPES,
+    Counterexample,
+    ExploreResult,
+    ExploreScope,
+    build_explore_library,
+    explore,
+)
 from .feasibility import (
     FeasibilityResult,
     MoleculeFeasibility,
@@ -46,6 +59,7 @@ from .lint import (
     lint_schedule,
 )
 from .machine import ReferenceMachine
+from .rules import families, render_rule_list
 from .registry import (
     RULES,
     Checker,
@@ -80,8 +94,12 @@ from .verify import (
 __all__ = [
     "BUILTIN_SUBJECTS",
     "Checker",
+    "Counterexample",
     "Diagnostic",
     "DiagnosticReport",
+    "EXPLORE_SCOPES",
+    "ExploreResult",
+    "ExploreScope",
     "FeasibilityArtifact",
     "FeasibilityResult",
     "ForecastArtifact",
@@ -98,11 +116,14 @@ __all__ = [
     "Severity",
     "TraceArtifact",
     "VerifyResult",
+    "build_explore_library",
     "checker",
     "checkers",
     "checkers_for",
     "diag",
     "expand_selectors",
+    "explore",
+    "families",
     "golden_from_runtime",
     "lint_builtin",
     "lint_cfg",
@@ -114,6 +135,7 @@ __all__ = [
     "load_golden",
     "port_backlog_bound",
     "prove_feasibility",
+    "render_rule_list",
     "rotation_cycle_table",
     "rule",
     "rules_of_family",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Families of rule IDs the analysis registries declare.
-_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA)\d{3}\b")
+_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA|MC)\d{3}\b")
 #: Exported metric names (the ``rispp_`` namespace) as written in prose.
 _METRIC_NAME = re.compile(r"\brispp_[a-z][a-z0-9_]*\b")
 #: Literal repository paths under the package root.
@@ -180,6 +180,35 @@ def _check_observability_coverage(root: Path) -> list[Finding]:
     return findings
 
 
+def _check_mc_coverage(root: Path) -> list[Finding]:
+    """Every MC model-checking rule must appear in docs/analysis.md."""
+    from .registry import rules_of_family
+
+    doc = root / "docs" / "analysis.md"
+    rel = doc.relative_to(root).as_posix()
+    mc_rules = rules_of_family("explore")
+    if not doc.exists():
+        return [
+            Finding(
+                rel, 1,
+                "docs/analysis.md is missing; it must catalogue the "
+                f"{len(mc_rules)} MC model-checking rules",
+            )
+        ]
+    text = doc.read_text(encoding="utf-8")
+    findings: list[Finding] = []
+    for r in mc_rules:
+        if r.rule_id not in text:
+            findings.append(
+                Finding(
+                    rel, 1,
+                    f"declared model-checking rule {r.rule_id!r} is not "
+                    "documented in the rule catalogue",
+                )
+            )
+    return findings
+
+
 def check_docs(root: Path) -> list[Finding]:
     """All documentation findings for the repository at ``root``."""
     from .registry import RULES
@@ -193,6 +222,7 @@ def check_docs(root: Path) -> list[Finding]:
             _check_file(path, root, rule_ids, metric_names, code_names)
         )
     findings.extend(_check_observability_coverage(root))
+    findings.extend(_check_mc_coverage(root))
     return findings
 
 

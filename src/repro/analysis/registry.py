@@ -1,11 +1,11 @@
-"""Rule catalogue and checker registry of rispp-lint.
+"""Checker registry and artifact dispatch of rispp-lint.
 
-Every invariant the checker enforces is declared once, here, as a
-:class:`Rule` with a stable ID, a default severity and the paper section
-it formalises.  Checker functions (one per artifact aspect) register via
-the :func:`checker` decorator and are dispatched by artifact type through
-:func:`run_checks` — the single driver the CLI, the integration layer and
-the tests share.
+The rule *catalogue* lives in :mod:`.rules` (one declaration per
+invariant, shared by lint, verify and explore); this module re-exports it
+for backwards compatibility.  Checker functions (one per artifact aspect)
+register via the :func:`checker` decorator and are dispatched by artifact
+type through :func:`run_checks` — the single driver the CLI, the
+integration layer and the tests share.
 
 Artifact types understood by the driver:
 
@@ -26,7 +26,15 @@ from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import TYPE_CHECKING
 
-from .diagnostics import Diagnostic, DiagnosticReport, Severity
+from .diagnostics import Diagnostic, DiagnosticReport
+from .rules import (  # noqa: F401 - re-exported for backwards compatibility
+    RULES,
+    Rule,
+    diag,
+    expand_selectors,
+    rule,
+    rules_of_family,
+)
 
 if TYPE_CHECKING:  # imported lazily to keep the module import-light
     from ..cfg.graph import ControlFlowGraph
@@ -39,207 +47,6 @@ if TYPE_CHECKING:  # imported lazily to keep the module import-light
     from ..hardware.energy import EnergyModel
     from ..hardware.reconfig import ReconfigurationPort, RotationJob
     from ..sim.trace import Event, Trace
-
-
-# ---------------------------------------------------------------------------
-# The rule catalogue
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Rule:
-    """One declared invariant."""
-
-    rule_id: str
-    family: str
-    severity: Severity
-    title: str
-    paper_ref: str = ""
-
-
-RULES: dict[str, Rule] = {}
-
-
-def _rule(rule_id: str, family: str, severity: Severity, title: str, paper_ref: str) -> None:
-    if rule_id in RULES:  # pragma: no cover - catalogue authoring error
-        raise ValueError(f"duplicate rule id {rule_id!r}")
-    RULES[rule_id] = Rule(rule_id, family, severity, title, paper_ref)
-
-
-# -- lattice family (§3.1 / §3.2): the Molecule vector algebra --------------
-_rule("LAT001", "lattice", Severity.ERROR,
-      "union/intersection absorption law violated", "§3.1")
-_rule("LAT002", "lattice", Severity.ERROR,
-      "residual operator violates its bounding laws", "§3.1")
-_rule("LAT003", "lattice", Severity.ERROR,
-      "Rep(S) outside its lattice bounds [inf(S), sup(S)]", "§3.2")
-_rule("LAT004", "lattice", Severity.ERROR,
-      "molecule lives outside its SI's atom space", "§3.1")
-
-# -- library family: SI/catalogue coherence ---------------------------------
-_rule("LIB001", "library", Severity.ERROR,
-      "SI has no usable software molecule", "§3.2")
-_rule("LIB002", "library", Severity.ERROR,
-      "SI built over a different atom space than its library", "§3.1")
-_rule("LIB003", "library", Severity.WARNING,
-      "hardware molecule is Pareto-dominated", "Fig. 13")
-_rule("LIB004", "library", Severity.ERROR,
-      "SI cannot fit the configured Atom Containers", "§3/§5")
-_rule("LIB005", "library", Severity.WARNING,
-      "hardware molecule exceeds the configured Atom Containers", "§3/§5")
-_rule("LIB006", "library", Severity.WARNING,
-      "hardware molecule not faster than the software molecule", "§4.1")
-_rule("LIB007", "library", Severity.ERROR,
-      "SI offers no hardware molecule", "§3.2")
-_rule("LIB008", "library", Severity.WARNING,
-      "atom kind unused by every SI of the library", "Fig. 2")
-
-# -- cfg family (§4): profile well-formedness -------------------------------
-_rule("CFG001", "cfg", Severity.ERROR,
-      "entry block missing or unknown", "§4")
-_rule("CFG002", "cfg", Severity.ERROR,
-      "out-edge probabilities do not sum to 1", "§4.1")
-_rule("CFG003", "cfg", Severity.ERROR,
-      "edge probability outside [0, 1]", "§4.1")
-_rule("CFG004", "cfg", Severity.WARNING,
-      "block unreachable from the entry", "§4")
-_rule("CFG005", "cfg", Severity.ERROR,
-      "SCC segmentation is not a partition of the blocks", "§4.1")
-_rule("CFG006", "cfg", Severity.ERROR,
-      "negative profile count", "§4.1")
-_rule("CFG007", "cfg", Severity.WARNING,
-      "profiled edge counts violate flow conservation", "§4.1")
-
-# -- forecast family (§4.1/§4.2): FC placements -----------------------------
-_rule("FC001", "forecast", Severity.ERROR,
-      "forecast point targets an unknown block", "§4.2")
-_rule("FC002", "forecast", Severity.ERROR,
-      "forecast names an SI absent from the library", "§4.2")
-_rule("FC003", "forecast", Severity.ERROR,
-      "no use of the SI is reachable from the forecast block", "§4.2")
-_rule("FC004", "forecast", Severity.ERROR,
-      "forecast initial values out of range", "§4.2")
-_rule("FC005", "forecast", Severity.ERROR,
-      "expected executions below the FDF break-even offset", "§4.1")
-_rule("FC006", "forecast", Severity.WARNING,
-      "forecast block does not dominate any use of its SI", "§4.2")
-_rule("FC007", "forecast", Severity.ERROR,
-      "duplicate forecast for the same (block, SI) pair", "§4.2")
-
-# -- schedule family (§3 / §5): dataflow schedules and rotations ------------
-_rule("SCH001", "schedule", Severity.ERROR,
-      "two operations overlap on one atom instance", "§3")
-_rule("SCH002", "schedule", Severity.ERROR,
-      "operation placed on an atom instance the molecule does not offer", "§3")
-_rule("SCH003", "schedule", Severity.ERROR,
-      "operation timing violates the dataflow (dependency or latency)", "§3")
-_rule("SCH004", "schedule", Severity.ERROR,
-      "makespan below the latest operation finish", "§3")
-_rule("SCH005", "schedule", Severity.ERROR,
-      "scheduled operations do not match the dataflow", "§3")
-_rule("ROT001", "schedule", Severity.ERROR,
-      "rotations overlap on the single reconfiguration port", "§5")
-_rule("ROT002", "schedule", Severity.ERROR,
-      "overlapping reservations of one Atom Container", "§5")
-_rule("ROT003", "schedule", Severity.ERROR,
-      "rotation job timing inconsistent", "§5")
-_rule("ROT004", "schedule", Severity.ERROR,
-      "rotation of a static atom kind", "§3")
-
-# -- trace family (§3/§5): model-based replay of recorded run traces --------
-_rule("TRC001", "trace", Severity.ERROR,
-      "event cycles negative or out of order", "§5")
-_rule("TRC002", "trace", Severity.ERROR,
-      "rotations overlap on the single reconfiguration port", "§5")
-_rule("TRC003", "trace", Severity.ERROR,
-      "event references an unknown or failed Atom Container", "§5")
-_rule("TRC004", "trace", Severity.ERROR,
-      "Atom Container occupancy inconsistent with the replayed state", "§3/§5")
-_rule("TRC005", "trace", Severity.ERROR,
-      "SI executed without its molecule's atoms resident", "§3.1")
-_rule("TRC006", "trace", Severity.ERROR,
-      "SI execution mode/latency matches no library molecule", "§3.2")
-_rule("TRC007", "trace", Severity.ERROR,
-      "run totals inconsistent with the per-event deltas", "§1/§2")
-_rule("TRC008", "trace", Severity.ERROR,
-      "rotation timing deviates from the SelectMap port model", "§5")
-_rule("TRC009", "trace", Severity.ERROR,
-      "rotation of a static or unknown atom kind", "§3")
-_rule("TRC010", "trace", Severity.ERROR,
-      "event references an SI absent from the library", "§4.2")
-_rule("TRC011", "trace", Severity.ERROR,
-      "execution-mode switch bookkeeping inconsistent", "Fig. 6")
-_rule("TRC012", "trace", Severity.ERROR,
-      "forecast carries an invalid expectation or priority", "§4.2")
-_rule("TRC013", "trace", Severity.ERROR,
-      "SI did not execute the best available molecule", "§5")
-_rule("TRC014", "trace", Severity.ERROR,
-      "fault/recovery lifecycle inconsistent with the replayed state", "§5")
-_rule("TRC015", "trace", Severity.ERROR,
-      "quarantined Atom Container serves work", "§5")
-
-# -- feasibility family (§4/§5): static worst-case rotation guarantees ------
-_rule("FEA001", "feasibility", Severity.WARNING,
-      "forecast can never be satisfied before its hot spot", "§4.1")
-_rule("FEA002", "feasibility", Severity.WARNING,
-      "molecule can never be loaded on this platform", "§3/§5")
-_rule("FEA003", "feasibility", Severity.WARNING,
-      "atom kind only used by unloadable molecules", "§3")
-_rule("FEA004", "feasibility", Severity.INFO,
-      "worst-case rotation latency bound", "§5")
-_rule("FEA005", "feasibility", Severity.WARNING,
-      "degraded fabric cannot hold an SI's largest hardware molecule", "§5")
-
-
-def rule(rule_id: str) -> Rule:
-    """Look up a rule; raises ``KeyError`` for unknown IDs."""
-    return RULES[rule_id]
-
-
-def rules_of_family(family: str) -> list[Rule]:
-    return [r for r in RULES.values() if r.family == family]
-
-
-def expand_selectors(selectors: Iterable[str]) -> set[str]:
-    """Expand ``--select``/``--ignore`` patterns into concrete rule IDs.
-
-    A selector matches case-insensitively by rule-ID prefix, so ``TRC``
-    selects the whole trace family and ``trc005`` one rule.  An empty or
-    unmatched selector raises ``ValueError`` — a typo silently selecting
-    nothing would defeat the point of filtering.
-    """
-    expanded: set[str] = set()
-    for selector in selectors:
-        prefix = selector.strip().upper()
-        matched = [rid for rid in RULES if prefix and rid.startswith(prefix)]
-        if not matched:
-            raise ValueError(
-                f"selector {selector!r} matches no rule ID "
-                f"(families: {sorted({r.family for r in RULES.values()})})"
-            )
-        expanded.update(matched)
-    return expanded
-
-
-def diag(
-    rule_id: str,
-    message: str,
-    *,
-    subject: str = "",
-    location: str = "",
-    severity: Severity | None = None,
-    **context: object,
-) -> Diagnostic:
-    """Build a diagnostic for a catalogued rule (default severity from it)."""
-    r = RULES[rule_id]
-    return Diagnostic(
-        rule_id=rule_id,
-        severity=severity if severity is not None else r.severity,
-        message=message,
-        subject=subject,
-        location=location,
-        context=context,
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -381,7 +188,7 @@ class Checker:
 
     name: str
     family: str
-    applies_to: tuple[type, ...]
+    applies_to: tuple[type[object], ...]
     fn: CheckFn
 
     def run(self, artifact: object, context: LintContext) -> list[Diagnostic]:
@@ -392,7 +199,7 @@ _CHECKERS: dict[str, Checker] = {}
 
 
 def checker(
-    name: str, family: str, applies_to: type | tuple[type, ...]
+    name: str, family: str, applies_to: type[object] | tuple[type[object], ...]
 ) -> Callable[[CheckFn], CheckFn]:
     """Register a checker function under ``name`` for the given artifact types."""
     types = applies_to if isinstance(applies_to, tuple) else (applies_to,)

@@ -22,9 +22,13 @@ internally consistent and match the atom's bitstream rotation latency
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from .diagnostics import Diagnostic
 from .registry import LintContext, RotationLog, ScheduleArtifact, checker, diag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.schedule import ScheduledOp
 
 
 @checker("dataflow-schedule", "schedule", ScheduleArtifact)
@@ -111,7 +115,7 @@ def check_schedule(artifact: ScheduleArtifact, ctx: LintContext) -> Iterator[Dia
                     dep_finish=dep_finish,
                 )
 
-    lanes: dict[tuple[str, int], list] = {}
+    lanes: dict[tuple[str, int], list[ScheduledOp]] = {}
     for placed in schedule.placements:
         lanes.setdefault((placed.kind, placed.instance), []).append(placed)
     for (kind, instance), placed_ops in sorted(lanes.items()):

@@ -54,8 +54,13 @@ def build_library(name: str) -> SILibrary:
         from ..bench.suites import build_synthetic_library
 
         return build_synthetic_library()
+    if name.startswith("explore-"):
+        from .explore import build_explore_library
+
+        return build_explore_library(name)
     raise ValueError(
-        f"unknown library {name!r}; choose from {sorted(VERIFY_SUITES)}"
+        f"unknown library {name!r}; choose from "
+        f"{sorted(VERIFY_SUITES) + ['explore-small', 'explore-tiny']}"
     )
 
 

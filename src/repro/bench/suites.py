@@ -22,7 +22,7 @@ and trace recording.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 from ..core.atom import AtomCatalogue, AtomKind
 from ..core.library import SILibrary
@@ -310,6 +310,41 @@ def metrics_overhead_stage(
     )
 
 
+def state_explore_stage(*, quick: bool) -> StageResult:
+    """Throughput of the rispp-explore bounded model checker (states/s).
+
+    Runs a capped BFS over the tiny scope — the cap keeps the stage
+    seconds-scale, so ``complete`` is False here and no proof is
+    claimed; the CI ``explore`` job owns the exhaustive runs.  The
+    dedupe ratio is reported because memoized revisits are the
+    explorer's main cost lever.
+    """
+    from ..analysis.explore import explore
+
+    cap = 400 if quick else 2000
+    holder: dict[str, Any] = {}
+
+    def run() -> None:
+        holder["result"] = explore("tiny", max_states=cap)
+
+    stage = time_stage(
+        "state_explore", run,
+        iterations=1, repeats=1 if quick else 2, unit="states/s",
+    )
+    result = holder["result"]
+    stage.iterations = result.states_explored
+    stage.extra = {
+        "scope": result.scope,
+        "max_states": cap,
+        "states_explored": result.states_explored,
+        "transitions": result.transitions,
+        "dedupe_ratio": round(result.dedupe_ratio(), 4),
+        "complete": result.complete,
+        "violations": len(result.report),
+    }
+    return stage
+
+
 # -- compile_and_run stages ---------------------------------------------------
 
 
@@ -558,6 +593,7 @@ def run_synthetic(*, quick: bool = False) -> dict:
         library, forecasts, containers=5,
         rounds=20 if quick else 100, repeats=repeats,
     )
+    stages.append(state_explore_stage(quick=quick))
     return build_report(
         "synthetic", quick=quick, end_to_end=end_to_end, stages=stages,
         metrics=_metrics_snapshot("synthetic", quick=quick),

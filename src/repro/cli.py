@@ -217,6 +217,17 @@ def _add_selector_args(parser: argparse.ArgumentParser) -> None:
         "--ignore", metavar="RULE[,RULE]", default=None,
         help="drop these rule IDs/prefixes (applied after --select)",
     )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print this tool's rule catalogue and exit",
+    )
+
+
+def _list_rules(families: "tuple[str, ...]") -> int:
+    from .analysis import render_rule_list
+
+    print(render_rule_list(families))
+    return 0
 
 
 def _resolve_selectors(
@@ -258,6 +269,8 @@ def _lint(argv: list[str]) -> int:
     )
     _add_selector_args(parser)
     args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules(("lattice", "library", "cfg", "forecast", "schedule"))
     if args.containers is not None and args.containers < 0:
         parser.error(f"--containers must be non-negative, got {args.containers}")
     select, ignore = _resolve_selectors(parser, args)
@@ -317,6 +330,8 @@ def _verify(argv: list[str]) -> int:
     )
     _add_selector_args(parser)
     args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules(("trace", "feasibility"))
     select, ignore = _resolve_selectors(parser, args)
     if args.survivable_failures is not None and args.survivable_failures < 0:
         parser.error("--survivable-failures cannot be negative")
@@ -348,6 +363,93 @@ def _verify(argv: list[str]) -> int:
         )
         print(f"golden trace written to {args.emit_golden}", file=sys.stderr)
     return report.exit_code()
+
+
+def _explore(argv: list[str]) -> int:
+    import json
+
+    from .analysis import EXPLORE_SCOPES, explore
+
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description=(
+            "Exhaustively model-check the rotation runtime over a small "
+            "scope (rispp-explore): every interleaving of forecasts, SI "
+            "executions, clock ticks and fault injections within the "
+            "scope's budgets, with the MC invariants checked in every "
+            "reachable state. Violations yield minimized counterexamples "
+            "replayable with 'repro verify --trace'."
+        ),
+        epilog=_rule_epilog(("explore",)),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scope", choices=sorted(EXPLORE_SCOPES), default="small",
+        help="platform scope to exhaust (default: small)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="result output format (default: text)",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="override the scope's state-count safety valve",
+    )
+    parser.add_argument(
+        "--emit-counterexample", metavar="PATH", default=None,
+        help=(
+            "write the first counterexample as golden-trace JSON "
+            "(replayable with 'repro verify --trace PATH')"
+        ),
+    )
+    _add_selector_args(parser)
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules(("explore",))
+    if args.max_states is not None and args.max_states < 1:
+        parser.error(f"--max-states must be positive, got {args.max_states}")
+    try:
+        result = explore(
+            args.scope,
+            select=args.select.split(",") if args.select is not None else None,
+            ignore=args.ignore.split(",") if args.ignore is not None else None,
+            max_states=args.max_states,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        status = "complete" if result.complete else "INCOMPLETE (max-states cap hit)"
+        proven = ", ".join(result.rules_proven) or "none"
+        print(f"rispp-explore: scope {result.scope!r} — {status}")
+        print(
+            f"  states explored:  {result.states_explored}"
+            f"  (transitions {result.transitions}, "
+            f"dedupe ratio {result.dedupe_ratio():.3f})"
+        )
+        print(f"  terminal states:  {result.terminal_states}")
+        print(f"  rules checked:    {', '.join(result.rules_checked)}")
+        print(f"  rules proven:     {proven}")
+        print(result.report.render_text(tool="rispp-explore"))
+    if args.emit_counterexample:
+        if not result.counterexamples:
+            print(
+                "no counterexample to emit (no MC violation found)",
+                file=sys.stderr,
+            )
+        else:
+            with open(args.emit_counterexample, "w", encoding="utf-8") as fh:
+                json.dump(
+                    result.counterexamples[0].golden, fh,
+                    indent=2, sort_keys=True,
+                )
+                fh.write("\n")
+            print(
+                f"counterexample written to {args.emit_counterexample}",
+                file=sys.stderr,
+            )
+    return result.exit_code()
 
 
 def _bench(argv: list[str]) -> int:
@@ -520,12 +622,13 @@ def _metrics(argv: list[str]) -> int:
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
     return (
-        "usage: repro {list | all | lint | verify | bench | chaos | metrics "
-        "| <experiment>}\n"
+        "usage: repro {list | all | lint | verify | explore | bench | chaos "
+        "| metrics | <experiment>}\n"
         f"experiments: {names}\n"
         "run 'repro list' for descriptions; 'repro lint --help', "
-        "'repro verify --help', 'repro bench --help', 'repro chaos --help' "
-        "and 'repro metrics --help' for tool flags"
+        "'repro verify --help', 'repro explore --help', 'repro bench "
+        "--help', 'repro chaos --help' and 'repro metrics --help' for "
+        "tool flags"
     )
 
 
@@ -539,6 +642,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint(rest)
     if command == "verify":
         return _verify(rest)
+    if command == "explore":
+        return _explore(rest)
     if command == "bench":
         return _bench(rest)
     if command == "chaos":
@@ -565,8 +670,8 @@ def main(argv: list[str] | None = None) -> int:
     hint = ""
     close = difflib.get_close_matches(
         command,
-        [*EXPERIMENTS, "list", "all", "lint", "verify", "bench", "chaos",
-         "metrics"],
+        [*EXPERIMENTS, "list", "all", "lint", "verify", "explore", "bench",
+         "chaos", "metrics"],
         n=1,
     )
     if close:

@@ -23,14 +23,16 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import asdict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from ..core.library import SILibrary
 from .injector import FaultInjector
 from .model import FaultSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import MetricRegistry
     from ..runtime.manager import RisppRuntime
+    from ..sim.integration import CompileAndRunResult
 
 CHAOS_SCHEMA_VERSION = 1
 CHAOS_KIND = "rispp-chaos-report"
@@ -67,7 +69,7 @@ def static_repair_bound(
 # -- suite scenarios ----------------------------------------------------------
 
 
-def _h264_config() -> dict:
+def _h264_config() -> dict[str, Any]:
     from ..apps.h264 import build_h264_library
     from ..bench.suites import H264_MACROBLOCK_CALLS
 
@@ -83,7 +85,7 @@ def _h264_config() -> dict:
     }
 
 
-def _synthetic_config() -> dict:
+def _synthetic_config() -> dict[str, Any]:
     from ..bench.suites import build_synthetic_library
 
     return {
@@ -98,7 +100,11 @@ def _synthetic_config() -> dict:
 
 
 def _run_stream(
-    config: dict, *, quick: bool, injector: FaultInjector | None, metrics=None
+    config: dict[str, Any],
+    *,
+    quick: bool,
+    injector: FaultInjector | None,
+    metrics: "MetricRegistry | None" = None,
 ) -> "RisppRuntime":
     from ..bench.suites import run_si_stream
 
@@ -119,7 +125,11 @@ def _run_stream(
     return runtime
 
 
-def _run_aes(*, injector: FaultInjector | None, metrics=None):
+def _run_aes(
+    *,
+    injector: FaultInjector | None,
+    metrics: "MetricRegistry | None" = None,
+) -> "CompileAndRunResult":
     from ..apps.aes import (
         build_aes_library,
         build_aes_program,
@@ -186,7 +196,7 @@ def run_chaos_suite(
     max_retries: int = 3,
     backoff_cycles: int = 1_000,
     survivable_failures: int = 1,
-) -> dict:
+) -> dict[str, Any]:
     """One seeded chaos campaign over a shipped suite; returns the report.
 
     Deterministic in its arguments: same seed, same report — byte for
@@ -306,7 +316,7 @@ def run_chaos_suite(
     }
 
 
-def chaos_ok(report: dict) -> bool:
+def chaos_ok(report: dict[str, Any]) -> bool:
     """The pass/fail verdict the CLI and CI turn into an exit code."""
     return bool(
         report["trace"]["verified"]
@@ -316,7 +326,7 @@ def chaos_ok(report: dict) -> bool:
     )
 
 
-def render_chaos_report(report: dict) -> str:
+def render_chaos_report(report: dict[str, Any]) -> str:
     """Human-readable rendering of one chaos report."""
     res = report["resilience"]
     lines = [

@@ -42,7 +42,9 @@ from .model import FaultEvent, FaultKind, FaultSchedule
 from .stats import ResilienceStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.si import SpecialInstruction
     from ..hardware.reconfig import RotationJob
+    from ..obs import MetricRegistry
     from ..runtime.manager import RisppRuntime
 
 
@@ -123,7 +125,7 @@ class FaultInjector:
         self._runtime = runtime
         self._bind_metrics(runtime.metrics)
 
-    def _bind_metrics(self, metrics) -> None:
+    def _bind_metrics(self, metrics: "MetricRegistry | None") -> None:
         """Adopt the attached runtime's registry (DISABLED before attach)."""
         from ..obs import DISABLED
 
@@ -136,6 +138,33 @@ class FaultInjector:
         self._m_repair_cycles = obs.histogram("repair_cycles")
         self._m_quarantine = obs.gauge("quarantine_depth")
         self._m_degraded = obs.counter("degraded_cycles_total")
+
+    def schedule_fault(self, event: FaultEvent) -> None:
+        """Append a fault event at run time (model-checking drivers).
+
+        rispp-explore drives faults as explicit *actions* rather than a
+        pre-baked schedule, so the injector accepts late additions.  The
+        event must not predate already-delivered events (the trace is
+        chronological), and — once attached — its container must exist.
+        """
+        import bisect
+
+        if self._cursor > 0 and event.cycle < self._events[self._cursor - 1].cycle:
+            raise ValueError(
+                f"cannot schedule a fault at cycle {event.cycle}: events up "
+                f"to cycle {self._events[self._cursor - 1].cycle} were "
+                "already delivered"
+            )
+        if (
+            self._runtime is not None
+            and event.kind is not FaultKind.WRITE_ERROR
+            and event.container >= len(self._runtime.fabric)
+        ):
+            raise ValueError(
+                f"fault targets container {event.container}, but the fabric "
+                f"has {len(self._runtime.fabric)} containers"
+            )
+        bisect.insort(self._events, event, lo=self._cursor)
 
     # -- clock interface (called by RisppRuntime.advance) -----------------
 
@@ -432,7 +461,9 @@ class FaultInjector:
         }
         self._retries = [r for r in self._retries if r.container != container_id]
 
-    def note_execution(self, runtime: "RisppRuntime", si, now: int) -> None:
+    def note_execution(
+        self, runtime: "RisppRuntime", si: "SpecialInstruction", now: int
+    ) -> None:
         """An SI fell back to software; attribute it to faults if the
         atoms lost to open quarantines would have enabled a molecule."""
         if not self._quarantined:

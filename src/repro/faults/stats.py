@@ -57,7 +57,7 @@ class ResilienceStats:
             return 0.0
         return self.mttr_cycles_total / self.containers_repaired
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         out = asdict(self)
         out["mttr_cycles"] = round(self.mttr_cycles(), 3)
         return out

@@ -255,6 +255,21 @@ for _s in (
         unit="cycles", source="src/repro/faults/injector.py",
         paper="robustness extension",
     ),
+    MetricSpec(
+        "explore_states_total", COUNTER,
+        "States generated by the rispp-explore bounded model checker, "
+        "split into newly visited states and deduplicated revisits.",
+        unit="states", source="src/repro/analysis/explore.py",
+        paper="§4/§5", labels=("outcome",),
+        label_values={"outcome": ("visited", "deduplicated")},
+    ),
+    MetricSpec(
+        "explore_violations_total", COUNTER,
+        "MC-rule invariant violations found by rispp-explore (first "
+        "finding per rule and run).",
+        unit="violations", source="src/repro/analysis/explore.py",
+        paper="§4/§5",
+    ),
 ):
     _spec(_s, METRICS)
 

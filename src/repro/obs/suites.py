@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable
 from .registry import MetricRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.library import SILibrary
     from ..runtime.manager import RisppRuntime
 
 
@@ -32,7 +33,7 @@ def _close_forecasts(rt: "RisppRuntime", now: int) -> int:
 
 def _stream_suite(
     registry: MetricRegistry,
-    library,
+    library: "SILibrary",
     forecasts: list[tuple[str, float]],
     blocks: list[tuple[str, int]],
     *,
@@ -77,7 +78,7 @@ def run_aes_metrics(registry: MetricRegistry, *, quick: bool = False) -> "RisppR
     from ..apps.aes import build_aes_library, build_aes_program, default_aes_fdfs
     from ..sim.integration import compile_and_run
 
-    def env_factory(i: int) -> dict:
+    def env_factory(i: int) -> dict[str, bytes]:
         return {
             "plaintext": bytes([i % 256] * 16),
             "key": bytes([(255 - i) % 256] * 16),

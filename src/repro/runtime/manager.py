@@ -89,6 +89,7 @@ class RisppRuntime:
         num_containers: int,
         *,
         core_mhz: float = 100.0,
+        bytes_per_us: float | None = None,
         policy: ReplacementPolicy | None = None,
         trace: Trace | None = None,
         monitor: ForecastMonitor | None = None,
@@ -114,9 +115,13 @@ class RisppRuntime:
             cache=optimize,
             metrics=self.metrics,
         )
-        self.port = ReconfigurationPort(
-            library.catalogue, core_mhz=core_mhz, metrics=self.metrics
-        )
+        #: ``bytes_per_us`` overrides the SelectMap configuration rate —
+        #: small-scope model checking (rispp-explore) scales rotation
+        #: latencies down to single-digit cycles this way.
+        port_kwargs: dict = {"core_mhz": core_mhz, "metrics": self.metrics}
+        if bytes_per_us is not None:
+            port_kwargs["bytes_per_us"] = bytes_per_us
+        self.port = ReconfigurationPort(library.catalogue, **port_kwargs)
         self.policy = policy if policy is not None else LRUPolicy()
         self.trace = trace if trace is not None else Trace()
         self.monitor = monitor if monitor is not None else ForecastMonitor()

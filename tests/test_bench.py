@@ -99,7 +99,7 @@ class TestSuites:
         names = [s["name"] for s in synthetic_report["stages"]]
         assert names == [
             "selection", "rotation_planning", "execute_si", "trace_record",
-            "metrics_overhead",
+            "metrics_overhead", "state_explore",
         ]
 
     def test_disabled_telemetry_overhead_is_bounded(self, synthetic_report):
@@ -111,6 +111,20 @@ class TestSuites:
         assert extra["disabled_overhead_pct"] < 3.0
         # The enabled path must actually have run (sanity, not a bound).
         assert extra["enabled_wall_s"] > 0
+
+    def test_state_explore_stage_reports_exploration_shape(
+        self, synthetic_report
+    ):
+        stage = next(
+            s for s in synthetic_report["stages"]
+            if s["name"] == "state_explore"
+        )
+        extra = stage["extra"]
+        assert extra["scope"] == "tiny"
+        assert extra["states_explored"] == stage["iterations"] > 0
+        assert extra["states_explored"] <= extra["max_states"]
+        assert extra["violations"] == 0
+        assert 0.0 <= extra["dedupe_ratio"] <= 1.0
 
     def test_report_embeds_deterministic_metrics_snapshot(
         self, synthetic_report

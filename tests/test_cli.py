@@ -82,3 +82,87 @@ class TestLintCommand:
         assert main(["lint", "--subject", "aes"]) == 0
         out = capsys.readouterr().out
         assert "h264" not in out
+
+
+class TestToolExitCodes:
+    """Bad arguments must exit 2 (argparse convention), not crash or run."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["chaos", "--suite", "nope"],
+            ["chaos", "--fault-rate", "-1"],
+            ["chaos", "--scrub-period", "abc"],
+            ["metrics", "--suite", "nope"],
+            ["metrics", "--format", "xml"],
+            ["explore", "--scope", "nope"],
+            ["explore", "--max-states", "0"],
+            ["explore", "--select", "TRC001"],
+            ["explore", "--select", ""],
+        ],
+    )
+    def test_bad_arguments_exit_two(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err
+
+    @pytest.mark.parametrize("tool", ["lint", "verify", "explore"])
+    def test_list_rules_exits_zero(self, tool, capsys):
+        assert main([tool, "--list-rules"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_explore_list_rules_covers_all_mc_rules(self, capsys):
+        main(["explore", "--list-rules"])
+        out = capsys.readouterr().out
+        for i in range(1, 11):
+            assert f"MC{i:03d}" in out
+        assert "TRC001" not in out
+
+
+class TestExploreCommand:
+    def test_capped_tiny_run_exits_zero(self, capsys):
+        assert main(["explore", "--scope", "tiny", "--max-states", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "rispp-explore" in out
+        assert "incomplete" in out.lower()
+
+    def test_json_output_round_trips(self, capsys):
+        assert (
+            main(
+                [
+                    "explore",
+                    "--scope",
+                    "tiny",
+                    "--max-states",
+                    "50",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scope"] == "tiny"
+        assert payload["complete"] is False
+        assert payload["rules_proven"] == []
+        assert payload["states_explored"] == 50
+
+    def test_emit_counterexample_without_violation_notes_it(self, capsys, tmp_path):
+        target = tmp_path / "cx.json"
+        assert (
+            main(
+                [
+                    "explore",
+                    "--scope",
+                    "tiny",
+                    "--max-states",
+                    "50",
+                    "--emit-counterexample",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert not target.exists()
+        assert "no counterexample" in capsys.readouterr().err

@@ -17,6 +17,15 @@ def _observability_stub() -> str:
     return "\n".join(lines) + "\n"
 
 
+def _analysis_stub() -> str:
+    """A minimal analysis.md covering every MC model-checking rule."""
+    from repro.analysis.rules import rules_of_family
+
+    lines = ["# Analysers", ""]
+    lines += [f"- {rule.rule_id}" for rule in rules_of_family("explore")]
+    return "\n".join(lines) + "\n"
+
+
 @pytest.fixture
 def repo(tmp_path):
     """A minimal healthy repo layout the checker accepts."""
@@ -26,6 +35,7 @@ def repo(tmp_path):
     (tmp_path / "docs" / "observability.md").write_text(
         _observability_stub()
     )
+    (tmp_path / "docs" / "analysis.md").write_text(_analysis_stub())
     return tmp_path
 
 
@@ -113,6 +123,19 @@ class TestObservabilityCoverage:
         stub = _observability_stub().replace("rispp_quarantine_depth", "x")
         (repo / "docs" / "observability.md").write_text(stub)
         assert any("rispp_quarantine_depth" in f for f in _findings(repo))
+
+
+class TestMcCoverage:
+    def test_missing_analysis_doc_is_flagged(self, repo):
+        (repo / "docs" / "analysis.md").unlink()
+        assert any(
+            "analysis.md is missing" in f for f in _findings(repo)
+        )
+
+    def test_undocumented_mc_rule_is_flagged(self, repo):
+        stub = _analysis_stub().replace("MC007", "MCxxx")
+        (repo / "docs" / "analysis.md").write_text(stub)
+        assert any("MC007" in f for f in _findings(repo))
 
 
 class TestMain:
