@@ -69,6 +69,7 @@ def run_si_stream(
     energy_model=None,
     fault_injector=None,
     metrics=None,
+    backend=None,
 ) -> RisppRuntime:
     """Fire the loop-head forecasts, then execute the SI stream.
 
@@ -82,6 +83,7 @@ def run_si_stream(
     rt = RisppRuntime(
         library, containers, core_mhz=100.0, optimize=optimize,
         energy_model=energy_model, faults=fault_injector, metrics=metrics,
+        backend=backend,
     )
     now = warmup_cycles
     for _ in range(block_rounds):
@@ -206,6 +208,10 @@ def micro_stages(
             "selection", bench_selection,
             iterations=rounds, repeats=repeats, unit="selections/s",
         ),
+        selection_backend_stage(
+            library, forecasts, containers=containers,
+            rounds=rounds, repeats=repeats,
+        ),
         time_stage(
             "rotation_planning", bench_planning,
             iterations=rounds, repeats=repeats, unit="plans/s",
@@ -223,6 +229,106 @@ def micro_stages(
             rounds=rounds, repeats=repeats,
         ),
     ]
+
+
+def selection_backend_stage(
+    library: SILibrary,
+    forecasts: list[tuple[str, float]],
+    *,
+    containers: int,
+    rounds: int,
+    repeats: int,
+) -> StageResult:
+    """Reference vs numpy selection kernels on one library.
+
+    Times the greedy selection loop on both compute backends (stage
+    throughput is the *numpy* backend's; ``extra.speedup`` records the
+    vectorization win, with a >=10x target on the shipped suites) and
+    enforces the PR-2/3-style equivalence contract along the way:
+
+    * identical ``SelectionResult`` objects from both backends for the
+      suite's forecast mix (greedy and exhaustive),
+    * identical event traces from a short end-to-end scenario run once
+      per backend, and
+    * both of those traces replaying cleanly through rispp-verify's
+      reference machine.
+
+    Without numpy installed the stage degrades to timing the reference
+    backend alone and reports ``numpy_available: False``.
+    """
+    from ..core.backend import BackendUnavailableError, get_backend
+    from ..core.selection import select_exhaustive
+
+    requests = [
+        ForecastedSI(library.get(name), weight) for name, weight in forecasts
+    ]
+    reference = get_backend("reference")
+
+    def selection_loop(backend) -> None:
+        for _ in range(rounds):
+            select_greedy(library, requests, containers, backend=backend)
+
+    try:
+        vectorized = get_backend("numpy")
+    except BackendUnavailableError:  # pragma: no cover - numpy ships
+        wall_s, _ = time_best(
+            lambda: selection_loop(reference), repeats=repeats
+        )
+        return StageResult(
+            name="selection_backend", wall_s=wall_s, iterations=rounds,
+            repeats=repeats, unit="selections/s",
+            extra={"numpy_available": False},
+        )
+
+    reference_s, _ = time_best(
+        lambda: selection_loop(reference), repeats=repeats
+    )
+    numpy_s, _ = time_best(
+        lambda: selection_loop(vectorized), repeats=repeats
+    )
+
+    results_equal = (
+        select_greedy(library, requests, containers, backend=reference)
+        == select_greedy(library, requests, containers, backend=vectorized)
+        and select_exhaustive(library, requests, containers, backend=reference)
+        == select_exhaustive(library, requests, containers, backend=vectorized)
+    )
+
+    # Short end-to-end scenario per backend: the traces must match
+    # event-for-event, and both must satisfy the reference machine.
+    blocks = [
+        (name, max(1, min(int(weight), 8))) for name, weight in forecasts
+    ]
+
+    def scenario(backend_name: str) -> RisppRuntime:
+        return run_si_stream(
+            library, forecasts, blocks, containers=containers,
+            block_rounds=2, optimize=True, backend=backend_name,
+        )
+
+    reference_rt = scenario("reference")
+    numpy_rt = scenario("numpy")
+    trace_equal = trace_signature(reference_rt.trace) == trace_signature(
+        numpy_rt.trace
+    )
+    verdict = verify_equivalence(reference_rt, numpy_rt)
+
+    return StageResult(
+        name="selection_backend",
+        wall_s=numpy_s,
+        iterations=rounds,
+        repeats=repeats,
+        unit="selections/s",
+        extra={
+            "numpy_available": True,
+            "reference_s": round(reference_s, 6),
+            "numpy_s": round(numpy_s, 6),
+            "speedup": round(reference_s / numpy_s, 2) if numpy_s else 0.0,
+            "results_equal": results_equal,
+            "trace_equal": trace_equal,
+            "trace_verified": verdict["trace_verified"],
+        },
+    )
 
 
 def metrics_overhead_stage(

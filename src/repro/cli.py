@@ -208,6 +208,32 @@ def _rule_epilog(families: tuple[str, ...]) -> str:
     return "\n".join(lines)
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    from .core.backend import available_backends
+
+    parser.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help=(
+            "compute backend for the selection/Pareto kernels "
+            "(default: $REPRO_BACKEND, else 'reference')"
+        ),
+    )
+
+
+def _apply_backend(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Pin the process-default backend from ``--backend``, if given."""
+    if args.backend is None:
+        return
+    from .core.backend import BackendUnavailableError, set_default_backend
+
+    try:
+        set_default_backend(args.backend)
+    except BackendUnavailableError as exc:
+        parser.error(str(exc))
+
+
 def _add_selector_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--select", metavar="RULE[,RULE]", default=None,
@@ -328,10 +354,12 @@ def _verify(argv: list[str]) -> int:
             "SI's largest molecule"
         ),
     )
+    _add_backend_arg(parser)
     _add_selector_args(parser)
     args = parser.parse_args(argv)
     if args.list_rules:
         return _list_rules(("trace", "feasibility"))
+    _apply_backend(parser, args)
     select, ignore = _resolve_selectors(parser, args)
     if args.survivable_failures is not None and args.survivable_failures < 0:
         parser.error("--survivable-failures cannot be negative")
@@ -474,17 +502,29 @@ def _bench(argv: list[str]) -> int:
         "--quick", action="store_true",
         help="reduced iteration counts (CI mode)",
     )
+    _add_backend_arg(parser)
     args = parser.parse_args(argv)
+    _apply_backend(parser, args)
     report = run_suite(args.suite, quick=args.quick)
     print(render_report(report))
     if args.json:
         write_report(report, args.json)
         print(f"\nreport written to {args.json}")
-    # A trace mismatch means an optimization changed event semantics, and
-    # a verification failure means a trace broke the reference-machine
-    # invariants — both are correctness failures, not performance numbers.
+    # A trace mismatch means an optimization changed event semantics, a
+    # verification failure means a trace broke the reference-machine
+    # invariants, and a stage equivalence flag means the backends
+    # diverged — all are correctness failures, not performance numbers.
     e2e = report["end_to_end"]
-    ok = e2e.get("trace_equal", True) and e2e.get("trace_verified", True)
+    stages_ok = all(
+        stage["extra"].get(flag, True)
+        for stage in report["stages"]
+        for flag in ("results_equal", "trace_equal", "trace_verified")
+    )
+    ok = (
+        e2e.get("trace_equal", True)
+        and e2e.get("trace_verified", True)
+        and stages_ok
+    )
     return 0 if ok else 1
 
 
@@ -544,7 +584,9 @@ def _chaos(argv: list[str]) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. CHAOS_synthetic.json)",
     )
+    _add_backend_arg(parser)
     args = parser.parse_args(argv)
+    _apply_backend(parser, args)
     if args.fault_rate < 0:
         parser.error(f"--fault-rate must be non-negative, got {args.fault_rate}")
     try:
@@ -602,7 +644,9 @@ def _metrics(argv: list[str]) -> int:
         "--output", metavar="PATH", default=None,
         help="also write the export to a file",
     )
+    _add_backend_arg(parser)
     args = parser.parse_args(argv)
+    _apply_backend(parser, args)
     registry, _runtime = run_metrics_suite(args.suite, quick=args.quick)
     if args.format == "prom":
         # The scrape view: everything recorded, span timers included.

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .backend import BackendSpec, resolve_backend
 from .si import MoleculeImpl, SpecialInstruction
 
 
@@ -42,25 +43,29 @@ def tradeoff_points(
     return points
 
 
-def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
-    """The non-dominated subset: strictly decreasing cycles as atoms grow.
+def pareto_front(
+    points: list[ParetoPoint], *, backend: BackendSpec | None = None
+) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by ``(atoms, cycles)``.
 
     A point is kept iff no other point has ``atoms <=`` and ``cycles <=``
-    with at least one strict inequality.  For equal-atom groups only the
-    fastest survives.
+    with at least one strict inequality — exactly the predicate of
+    :func:`is_pareto_optimal`, so membership in the front and
+    per-point optimality always agree.  In particular, exact-duplicate
+    ``(atoms, cycles)`` points do not dominate each other and therefore
+    *all* stay on the front (in their original relative order); callers
+    wanting one representative per coordinate must dedupe explicitly.
+
+    The domination scan runs on the resolved compute backend (see
+    :mod:`repro.core.backend`); ``backend`` overrides it per call.
     """
-    best_by_atoms: dict[int, ParetoPoint] = {}
-    for p in sorted(points, key=lambda p: (p.atoms, p.cycles)):
-        if p.atoms not in best_by_atoms:
-            best_by_atoms[p.atoms] = p
-    front: list[ParetoPoint] = []
-    best_cycles = None
-    for atoms in sorted(best_by_atoms):
-        p = best_by_atoms[atoms]
-        if best_cycles is None or p.cycles < best_cycles:
-            front.append(p)
-            best_cycles = p.cycles
-    return front
+    ordered = sorted(points, key=lambda p: (p.atoms, p.cycles))
+    if not ordered:
+        return []
+    mask = resolve_backend(backend).pareto_mask(
+        [p.atoms for p in ordered], [p.cycles for p in ordered]
+    )
+    return [p for p, keep in zip(ordered, mask) if keep]
 
 
 def pareto_front_of(
@@ -73,7 +78,12 @@ def pareto_front_of(
 
 
 def is_pareto_optimal(point: ParetoPoint, points: list[ParetoPoint]) -> bool:
-    """True iff no point in ``points`` dominates ``point``."""
+    """True iff no point in ``points`` dominates ``point``.
+
+    Uses the same domination predicate as :func:`pareto_front`, so the
+    two never disagree — including on exact-duplicate points, which are
+    mutually non-dominating and hence all optimal.
+    """
     for other in points:
         if other is point:
             continue

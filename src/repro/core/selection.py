@@ -16,17 +16,28 @@ Two algorithms are provided:
   cost, so reusing them is free).
 * :func:`select_exhaustive` — optimal reference for small libraries,
   used by tests and the selection ablation bench.
+
+Both delegate their inner scoring/enumeration loops to a pluggable
+:class:`~repro.core.backend.ComputeBackend` (``backend=`` argument; see
+:mod:`repro.core.backend` for the resolution chain) — the pure-python
+``reference`` backend is the specification, the ``numpy`` backend the
+vectorized fast path, and they produce identical ``SelectionResult``s.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable
 
+from .backend import BackendSpec, benefit, demand, resolve_backend
 from .library import SILibrary
-from .molecule import Molecule, supremum
+from .molecule import Molecule
 from .si import MoleculeImpl, SpecialInstruction
+
+#: Backwards-compatible aliases — the scoring helpers moved to
+#: :mod:`repro.core.backend` so every backend shares one definition.
+_benefit = benefit
+_demand = demand
 
 
 @dataclass(frozen=True)
@@ -56,24 +67,48 @@ class SelectionResult:
         return self.chosen.get(si_name)
 
 
-def _benefit(fsi: ForecastedSI, impl: MoleculeImpl | None) -> float:
-    """Weighted cycles saved vs. pure software execution."""
-    if impl is None:
-        return 0.0
-    saved = fsi.si.software_cycles - impl.cycles
-    return fsi.expected_executions * max(saved, 0)
+def _checked_requests(
+    requests: Iterable[ForecastedSI],
+) -> list[ForecastedSI]:
+    """Materialise ``requests`` and reject duplicate SI names.
+
+    Duplicates used to be silently collapsed by the greedy path while the
+    exhaustive path double-counted their benefit; neither behaviour is
+    meaningful, so both now fail loudly (callers aggregate weights per SI
+    — see ``RisppRuntime._replan``).
+    """
+    requests = list(requests)
+    seen: set[str] = set()
+    for request in requests:
+        name = request.si.name
+        if name in seen:
+            raise ValueError(f"duplicate selection request for SI {name!r}")
+        seen.add(name)
+    return requests
 
 
-def _demand(
-    library: SILibrary, chosen: Mapping[str, MoleculeImpl | None]
-) -> Molecule:
-    """Supremum of the chosen molecules, projected onto reconfigurable kinds."""
-    molecules = [
-        library.restricted_to_reconfigurable(impl.molecule)
-        for impl in chosen.values()
-        if impl is not None
-    ]
-    return supremum(molecules, space=library.space)
+def _result(
+    library: SILibrary,
+    requests: list[ForecastedSI],
+    chosen: dict[str, MoleculeImpl | None],
+    considered: int,
+    *,
+    total: float | None = None,
+) -> SelectionResult:
+    """Assemble the shared result surface from a backend's raw choice."""
+    by_name = {r.si.name: r for r in requests}
+    chosen_demand = demand(library, chosen)
+    if total is None:
+        total = sum(
+            benefit(by_name[name], impl) for name, impl in chosen.items()
+        )
+    return SelectionResult(
+        chosen=chosen,
+        demand=chosen_demand,
+        containers_used=abs(chosen_demand - library.baseline_molecule()),
+        total_benefit=total,
+        considered=considered,
+    )
 
 
 def select_greedy(
@@ -82,77 +117,35 @@ def select_greedy(
     container_budget: int,
     *,
     loaded: Molecule | None = None,
+    backend: BackendSpec | None = None,
 ) -> SelectionResult:
     """Greedy marginal-gain molecule selection.
 
     Upgrades are scored by weighted cycle savings per *container budget*
     consumed (the marginal determinant growth of the demand supremum), so
-    cheap shared molecules are picked before large exclusive ones.  Among
-    equal-score upgrades the one needing fewer new rotations wins:
-    ``loaded`` (reconfigurable projection is taken internally) describes
-    Atoms already sitting in containers, and reusing them is free — this
-    minimises the number of rotations, a stated goal of the paper.
+    cheap shared molecules are picked before large exclusive ones; an
+    upgrade that shrinks or holds the supremum is treated as budget-free,
+    never penalised.  Among equal-score upgrades the one needing fewer
+    new rotations wins: ``loaded`` (reconfigurable projection is taken
+    internally) describes Atoms already sitting in containers, and
+    reusing them is free — this minimises the number of rotations, a
+    stated goal of the paper.
+
+    ``backend`` overrides the compute backend for this call (name or
+    instance); otherwise the library pin or process default applies.
     """
     if container_budget < 0:
         raise ValueError("container budget cannot be negative")
-    requests = list(requests)
+    requests = _checked_requests(requests)
     loaded_rc = (
         library.restricted_to_reconfigurable(loaded)
         if loaded is not None
         else library.space.zero()
     )
-
-    chosen: dict[str, MoleculeImpl | None] = {r.si.name: None for r in requests}
-    by_name = {r.si.name: r for r in requests}
-    considered = 0
-    baseline = library.baseline_molecule()
-
-    def containers_for(demand: Molecule) -> int:
-        # Containers hold only the demand beyond the static baseline;
-        # budget is the number of containers available for this round.
-        return abs(demand - baseline)
-
-    while True:
-        current_demand = _demand(library, chosen)
-        current_containers = containers_for(current_demand)
-        best: tuple[float, float, str, MoleculeImpl] | None = None
-        for name, fsi in by_name.items():
-            current_impl = chosen[name]
-            current_gain = _benefit(fsi, current_impl)
-            for impl in fsi.si.implementations:
-                considered += 1
-                gain = _benefit(fsi, impl) - current_gain
-                if gain <= 0:
-                    continue
-                trial = dict(chosen)
-                trial[name] = impl
-                new_demand = _demand(library, trial)
-                new_containers = containers_for(new_demand)
-                if new_containers > container_budget:
-                    continue
-                # Primary cost: container budget this upgrade consumes.
-                extra_budget = new_containers - current_containers
-                score = gain / (extra_budget + 0.5)
-                # Secondary preference: fewer new rotations (reuse what is
-                # already loaded or demanded).
-                rotations = abs(new_demand - (current_demand | loaded_rc))
-                key = (score, -rotations)
-                if best is None or key > best[:2]:
-                    best = (score, -rotations, name, impl)
-        if best is None:
-            break
-        _, _, name, impl = best
-        chosen[name] = impl
-
-    demand = _demand(library, chosen)
-    total = sum(_benefit(by_name[n], impl) for n, impl in chosen.items())
-    return SelectionResult(
-        chosen=chosen,
-        demand=demand,
-        containers_used=abs(demand - baseline),
-        total_benefit=total,
-        considered=considered,
+    chosen, considered = resolve_backend(backend, library).greedy_choose(
+        library, requests, container_budget, loaded_rc
     )
+    return _result(library, requests, chosen, considered)
 
 
 def select_exhaustive(
@@ -161,6 +154,7 @@ def select_exhaustive(
     container_budget: int,
     *,
     loaded: Molecule | None = None,
+    backend: BackendSpec | None = None,
 ) -> SelectionResult:
     """Optimal selection by enumerating all per-SI implementation choices.
 
@@ -168,40 +162,17 @@ def select_exhaustive(
     greedy-vs-optimal ablation, not for the run-time path.  ``loaded`` is
     accepted for interface parity with :func:`select_greedy`; the optimal
     choice does not depend on it (reuse only affects rotation effort, not
-    the achievable benefit).
+    the achievable benefit).  Equal-benefit combinations prefer fewer
+    containers, then the earlier enumeration order, so the reported
+    optimum is deterministic across backends.
     """
     if container_budget < 0:
         raise ValueError("container budget cannot be negative")
-    requests = list(requests)
-    baseline = library.baseline_molecule()
-    option_lists: list[list[MoleculeImpl | None]] = [
-        [None, *r.si.implementations] for r in requests
-    ]
-    best_choice: dict[str, MoleculeImpl | None] = {
-        r.si.name: None for r in requests
-    }
-    best_benefit = 0.0
-    considered = 0
-    for combo in itertools.product(*option_lists):
-        considered += 1
-        chosen = {r.si.name: impl for r, impl in zip(requests, combo)}
-        demand = _demand(library, chosen)
-        if abs(demand - baseline) > container_budget:
-            continue
-        benefit = sum(
-            _benefit(r, impl) for r, impl in zip(requests, combo)
-        )
-        if benefit > best_benefit:
-            best_benefit = benefit
-            best_choice = chosen
-    demand = _demand(library, best_choice)
-    return SelectionResult(
-        chosen=best_choice,
-        demand=demand,
-        containers_used=abs(demand - baseline),
-        total_benefit=best_benefit,
-        considered=considered,
-    )
+    requests = _checked_requests(requests)
+    chosen, total, considered = resolve_backend(
+        backend, library
+    ).exhaustive_choose(library, requests, container_budget)
+    return _result(library, requests, chosen, considered, total=total)
 
 
 def upgrade_path(
@@ -210,14 +181,25 @@ def upgrade_path(
     max_containers: int,
     *,
     loaded: Molecule | None = None,
+    backend: BackendSpec | None = None,
 ) -> list[SelectionResult]:
     """Selection results for every container budget ``0..max_containers``.
 
-    Materialises the dynamic trade-off of Fig. 13: as the budget grows the
-    selected molecules walk along the Pareto fronts.
+    Materialises the dynamic trade-off of Fig. 13: as the budget grows
+    the selected molecules walk along the Pareto fronts, and the walk
+    never regresses — greedy selection alone is not guaranteed monotone
+    in the budget (a larger budget can bait it into a worse local
+    optimum), so a budget whose fresh selection scores below its
+    predecessor's carries the predecessor forward (still feasible: it
+    used at most the smaller budget).
     """
     requests = list(requests)
-    return [
-        select_greedy(library, requests, budget, loaded=loaded)
-        for budget in range(max_containers + 1)
-    ]
+    path: list[SelectionResult] = []
+    for budget in range(max_containers + 1):
+        result = select_greedy(
+            library, requests, budget, loaded=loaded, backend=backend
+        )
+        if path and result.total_benefit < path[-1].total_benefit:
+            result = path[-1]
+        path.append(result)
+    return path

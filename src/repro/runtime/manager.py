@@ -100,6 +100,7 @@ class RisppRuntime:
         optimize: bool = True,
         faults: "FaultInjector | None" = None,
         metrics: "MetricRegistry | None" = None,
+        backend: "str | object | None" = None,
     ):
         from ..obs import DISABLED
 
@@ -132,6 +133,12 @@ class RisppRuntime:
         self._bind_metrics()
         self.forecasting = forecasting
         self.selection = selection
+        #: Compute backend for the selection kernels (name or instance;
+        #: ``None`` defers to the library pin / process default — see
+        #: :mod:`repro.core.backend`).  Only forwarded when set, so
+        #: custom ``selection`` callables without a ``backend`` parameter
+        #: keep working.
+        self.backend = backend
         #: Optional :class:`repro.hardware.energy.EnergyModel`; when set,
         #: rotation and execution energies accumulate into the stats.
         self.energy_model = energy_model
@@ -514,9 +521,12 @@ class RisppRuntime:
             ForecastedSI(self.library.get(name), weight)
             for name, weight in sorted(weights.items())
         ]
+        select_kwargs: dict = {"loaded": loaded}
+        if self.backend is not None:
+            select_kwargs["backend"] = self.backend
         with self._m_replan_time.time():
             result = self.selection(
-                self.library, requests, len(self.fabric), loaded=loaded
+                self.library, requests, len(self.fabric), **select_kwargs
             )
             plan = plan_rotations(
                 self.library,

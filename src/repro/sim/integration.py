@@ -165,6 +165,7 @@ def compile_and_run(
     energy_model=None,
     fault_injector=None,
     metrics=None,
+    backend=None,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
@@ -190,6 +191,7 @@ def compile_and_run(
     runtime = RisppRuntime(
         library, containers, core_mhz=core_mhz, optimize=optimize,
         energy_model=energy_model, faults=fault_injector, metrics=metrics,
+        backend=backend,
     )
     result = run_annotated_program(
         program, annotation, runtime, dict(run_env or {}), lint=False

@@ -98,9 +98,30 @@ class TestSuites:
     def test_micro_stages_cover_the_hot_paths(self, synthetic_report):
         names = [s["name"] for s in synthetic_report["stages"]]
         assert names == [
-            "selection", "rotation_planning", "execute_si", "trace_record",
-            "metrics_overhead", "state_explore",
+            "selection", "selection_backend", "rotation_planning",
+            "execute_si", "trace_record", "metrics_overhead",
+            "state_explore",
         ]
+
+    def test_selection_backend_stage_proves_equivalence(
+        self, synthetic_report
+    ):
+        stage = next(
+            s for s in synthetic_report["stages"]
+            if s["name"] == "selection_backend"
+        )
+        extra = stage["extra"]
+        assert extra["numpy_available"] is True
+        # Bit-for-bit equivalence: identical SelectionResults on the
+        # suite's forecast mix, identical traces on the short scenario,
+        # and both traces replay cleanly through rispp-verify.
+        assert extra["results_equal"] is True
+        assert extra["trace_equal"] is True
+        assert extra["trace_verified"] is True
+        # The vectorized path must actually have been timed.
+        assert extra["numpy_s"] > 0
+        assert extra["reference_s"] > 0
+        assert extra["speedup"] > 0
 
     def test_disabled_telemetry_overhead_is_bounded(self, synthetic_report):
         stage = next(

@@ -182,3 +182,100 @@ class TestSelection:
         ]
         result = select_exhaustive(library, reqs, 100)
         assert result.considered == 4 * 4  # (None + 3 impls) per SI
+
+    def test_duplicate_requests_rejected(self, library):
+        # Duplicates used to be silently collapsed by greedy and
+        # double-counted by exhaustive; both now fail loudly.
+        reqs = [
+            ForecastedSI(library.get("HT"), 1),
+            ForecastedSI(library.get("HT"), 5),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            select_greedy(library, reqs, 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            select_exhaustive(library, reqs, 4)
+
+
+class TestSelectionBugfixes:
+    """Regression tests for the selection-correctness sweep.
+
+    Each test pins one fixed bug: the greedy negative-denominator
+    mis-score, pareto_front/is_pareto_optimal disagreeing on duplicate
+    points, and exhaustive ties wasting containers.
+    """
+
+    def test_greedy_container_freeing_swap_is_scored_positive(self):
+        # Upgrading SI1 from implX ({A:1}) to implY ({B:4}) *after* SI2's
+        # {B:4} is chosen shrinks the supremum by one container, so the
+        # marginal cost is negative.  The old score `gain / (extra + 0.5)`
+        # went negative on that denominator and the strictly beneficial
+        # swap always lost; the freed container could then never host SI3.
+        catalogue = AtomCatalogue.of(
+            [AtomKind("A"), AtomKind("B"), AtomKind("C")]
+        )
+        space = catalogue.space
+        si1 = SpecialInstruction(
+            "SI1",
+            space,
+            100,
+            [
+                MoleculeImpl(space.molecule({"A": 1}), 50),
+                MoleculeImpl(space.molecule({"B": 4}), 20),
+                MoleculeImpl(space.molecule({"A": 1, "B": 4}), 20),
+            ],
+        )
+        si2 = SpecialInstruction(
+            "SI2", space, 20, [MoleculeImpl(space.molecule({"B": 4}), 10)]
+        )
+        si3 = SpecialInstruction(
+            "SI3", space, 30, [MoleculeImpl(space.molecule({"C": 2}), 10)]
+        )
+        library = SILibrary(catalogue, [si1, si2, si3])
+        reqs = [
+            ForecastedSI(si1, 1),
+            ForecastedSI(si2, 10),
+            ForecastedSI(si3, 1),
+        ]
+        result = select_greedy(library, reqs, 6)
+        # The swap must land on the B-only molecule, freeing A's container.
+        assert result.chosen["SI1"] is not None
+        assert result.chosen["SI1"].molecule == space.molecule({"B": 4})
+        assert result.chosen["SI3"] is not None
+        assert result.total_benefit == pytest.approx(200.0)
+        # ... which is the true optimum on this library.
+        exact = select_exhaustive(library, reqs, 6)
+        assert exact.total_benefit == pytest.approx(result.total_benefit)
+
+    def test_pareto_front_keeps_duplicate_points(self, library):
+        from repro.core.pareto import ParetoPoint
+
+        pts = tradeoff_points(library.get("HT"))
+        twin = ParetoPoint(pts[0].atoms, pts[0].cycles, pts[0].impl)
+        front = pareto_front(pts + [twin])
+        # Both copies sit on the front: duplicates never dominate each
+        # other, and pareto_front now agrees with is_pareto_optimal
+        # (it used to silently drop later duplicates).
+        assert front.count(twin) == 2
+        for p in pts + [twin]:
+            assert (p in front) == is_pareto_optimal(p, pts + [twin])
+
+    def test_exhaustive_tie_prefers_fewer_containers(self):
+        catalogue = AtomCatalogue.of([AtomKind("A"), AtomKind("B")])
+        space = catalogue.space
+        # Two implementations with identical cycles (hence identical
+        # benefit); the bulky one enumerates first.  The old `>`-only
+        # comparison kept whichever came first, wasting two containers.
+        si = SpecialInstruction(
+            "SI",
+            space,
+            100,
+            [
+                MoleculeImpl(space.molecule({"A": 3}), 50),
+                MoleculeImpl(space.molecule({"A": 1}), 50),
+            ],
+        )
+        library = SILibrary(catalogue, [si])
+        result = select_exhaustive(library, [ForecastedSI(si, 1)], 8)
+        assert result.chosen["SI"].molecule == space.molecule({"A": 1})
+        assert result.containers_used == 1
+        assert result.total_benefit == pytest.approx(50.0)

@@ -89,11 +89,18 @@ class TestEnumerateMolecules:
         )
         assert si.name == "AUTO_SATD"
         assert len(si.implementations) == report.kept
-        # The generated catalogue yields a clean Pareto front like Table 2.
+        # The generated catalogue yields a clean Pareto front like
+        # Table 2.  Lattice pruning can keep incomparable molecules that
+        # land on the same (atoms, cycles) point (e.g. 2xQuadSub+1xSATD
+        # vs 1xQuadSub+2xSATD), and pareto_front keeps all coordinate
+        # duplicates by contract — so strict improvement is asserted
+        # over the distinct coordinates.
         front = pareto_front_of(si)
         assert len(front) >= 3
-        for a, b in zip(front, front[1:]):
-            assert b.atoms > a.atoms and b.cycles < a.cycles
+        coords = sorted({(p.atoms, p.cycles) for p in front})
+        assert len(coords) >= 3
+        for a, b in zip(coords, coords[1:]):
+            assert b[0] > a[0] and b[1] < a[1]
 
     def test_issue_overhead_applied(self):
         base, _ = enumerate_molecules(satd_dataflow(), SPACE)

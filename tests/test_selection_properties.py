@@ -12,6 +12,7 @@ from repro.core import (
     SpecialInstruction,
     select_exhaustive,
     select_greedy,
+    upgrade_path,
 )
 from repro.hardware import Fabric, ReconfigurationPort
 from repro.runtime import LRUPolicy, plan_rotations
@@ -83,6 +84,23 @@ def test_benefit_monotone_in_budget(bundle):
     lesser = select_greedy(library, requests, budget)
     greater = select_greedy(library, requests, budget + 2)
     assert greater.total_benefit >= lesser.total_benefit - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(library_and_workload())
+def test_upgrade_path_benefits_monotone(bundle):
+    # Greedy alone is not monotone in the budget (a different early pick
+    # can strand a larger budget below a smaller one); upgrade_path
+    # carries the best-so-far forward, so the published curve must be
+    # non-decreasing step by step.
+    library, requests, budget = bundle
+    path = upgrade_path(library, requests, budget)
+    assert len(path) == budget + 1
+    benefits = [r.total_benefit for r in path]
+    for lesser, greater in zip(benefits, benefits[1:]):
+        assert greater >= lesser
+    for cap, result in enumerate(path):
+        assert result.containers_used <= cap
 
 
 @settings(max_examples=40, deadline=None)
