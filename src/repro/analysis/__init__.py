@@ -21,16 +21,20 @@ already-constructed RISPP artifacts *without executing a simulation*:
 * **explore** — rispp-explore's bounded model checker: exhaustive
   small-scope state-space exploration of the live rotation runtime,
   proving the MC invariants or emitting verifier-replayable minimized
-  counterexamples.
+  counterexamples;
+* **audit** — rispp-audit's AST-level source-contract analyzer over
+  ``src/repro`` itself: determinism sanitizer, obs-catalogue and
+  rule-registry resolution, compute-backend purity.
 
 Entry points: :func:`run_checks` (registry driver over mixed artifacts),
 the per-family ``lint_*`` helpers, :func:`verify_trace` /
-:func:`verify_runtime` / :func:`prove_feasibility`, :func:`explore`, and
-``python -m repro lint`` / ``python -m repro verify`` /
-``python -m repro explore``.
+:func:`verify_runtime` / :func:`prove_feasibility`, :func:`explore`,
+:func:`run_audit`, and ``python -m repro lint`` / ``python -m repro
+verify`` / ``python -m repro explore`` / ``python -m repro audit``.
 The rule catalogue is documented in ``docs/analysis.md``.
 """
 
+from .audit import AuditResult, Baseline, Suppression, run_audit
 from .diagnostics import Diagnostic, DiagnosticReport, LintError, Severity
 from .explore import (
     EXPLORE_SCOPES,
@@ -92,7 +96,9 @@ from .verify import (
 )
 
 __all__ = [
+    "AuditResult",
     "BUILTIN_SUBJECTS",
+    "Baseline",
     "Checker",
     "Counterexample",
     "Diagnostic",
@@ -114,6 +120,7 @@ __all__ = [
     "SIRotationBound",
     "ScheduleArtifact",
     "Severity",
+    "Suppression",
     "TraceArtifact",
     "VerifyResult",
     "build_explore_library",
@@ -139,6 +146,7 @@ __all__ = [
     "rotation_cycle_table",
     "rule",
     "rules_of_family",
+    "run_audit",
     "run_checks",
     "run_verify_suite",
     "verify_golden_result",

@@ -5,7 +5,7 @@ references drift from the code:
 
 * ``src/repro/...`` file paths that do not exist in the repository;
 * relative markdown links (``[text](path)``) whose target is missing;
-* lint/verify rule IDs (``LAT001`` .. ``FEA005``) absent from the
+* analysis rule IDs (``LAT001`` .. ``AUD011``) absent from the
   :data:`repro.analysis.registry.RULES` registry;
 * ``rispp_*`` metric names absent from the :mod:`repro.obs` catalogue;
 * catalogue metrics *not documented* in ``docs/observability.md`` — the
@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Families of rule IDs the analysis registries declare.
-_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA|MC)\d{3}\b")
+_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA|MC|AUD)\d{3}\b")
 #: Exported metric names (the ``rispp_`` namespace) as written in prose.
 _METRIC_NAME = re.compile(r"\brispp_[a-z][a-z0-9_]*\b")
 #: Literal repository paths under the package root.
@@ -180,29 +180,35 @@ def _check_observability_coverage(root: Path) -> list[Finding]:
     return findings
 
 
-def _check_mc_coverage(root: Path) -> list[Finding]:
-    """Every MC model-checking rule must appear in docs/analysis.md."""
+#: Rule families whose every member must appear in ``docs/analysis.md``
+#: (the verifier TRC/FEA, model-checker MC and source-audit AUD
+#: catalogues live there; lint families are documented per-module).
+_DOCUMENTED_FAMILIES = ("trace", "feasibility", "explore", "audit")
+
+
+def _check_rule_coverage(root: Path) -> list[Finding]:
+    """Every TRC/FEA/MC/AUD rule must appear in docs/analysis.md."""
     from .registry import rules_of_family
 
     doc = root / "docs" / "analysis.md"
     rel = doc.relative_to(root).as_posix()
-    mc_rules = rules_of_family("explore")
+    rules = [r for fam in _DOCUMENTED_FAMILIES for r in rules_of_family(fam)]
     if not doc.exists():
         return [
             Finding(
                 rel, 1,
                 "docs/analysis.md is missing; it must catalogue the "
-                f"{len(mc_rules)} MC model-checking rules",
+                f"{len(rules)} verifier/model-checking/audit rules",
             )
         ]
     text = doc.read_text(encoding="utf-8")
     findings: list[Finding] = []
-    for r in mc_rules:
+    for r in rules:
         if r.rule_id not in text:
             findings.append(
                 Finding(
                     rel, 1,
-                    f"declared model-checking rule {r.rule_id!r} is not "
+                    f"declared {r.family} rule {r.rule_id!r} is not "
                     "documented in the rule catalogue",
                 )
             )
@@ -222,7 +228,7 @@ def check_docs(root: Path) -> list[Finding]:
             _check_file(path, root, rule_ids, metric_names, code_names)
         )
     findings.extend(_check_observability_coverage(root))
-    findings.extend(_check_mc_coverage(root))
+    findings.extend(_check_rule_coverage(root))
     return findings
 
 

@@ -191,6 +191,35 @@ _rule("MC009", "explore", Severity.ERROR,
 _rule("MC010", "explore", Severity.ERROR,
       "SI dispatch deviates from the best available molecule", "§5")
 
+# -- audit family: rispp-audit, the source-contract analyzer ----------------
+# AST-level checks over ``src/repro`` itself: the implementation
+# contracts the verification story rests on (seeded determinism,
+# declared-ahead telemetry, the diag() rule-ID contract, pure compute
+# backends), machine-checked instead of enforced by convention.
+_rule("AUD001", "audit", Severity.ERROR,
+      "unseeded randomness or entropy source in platform code", "§5")
+_rule("AUD002", "audit", Severity.ERROR,
+      "wall-clock read outside the repro.obs.clock seam", "§5")
+_rule("AUD003", "audit", Severity.ERROR,
+      "environment read outside an allowlisted seam", "§5")
+_rule("AUD004", "audit", Severity.ERROR,
+      "order-sensitive iteration over an unordered set", "§5")
+_rule("AUD005", "audit", Severity.ERROR,
+      "instrumentation site does not resolve against the metric catalogue",
+      "§5")
+_rule("AUD006", "audit", Severity.ERROR,
+      "declared metric is never instrumented (dead catalogue entry)", "§5")
+_rule("AUD007", "audit", Severity.ERROR,
+      "rule ID not registered in the rule catalogue", "§5")
+_rule("AUD008", "audit", Severity.ERROR,
+      "registered rule is never emitted by any checker", "§5")
+_rule("AUD009", "audit", Severity.ERROR,
+      "compute-backend kernel mutates an input argument", "§5")
+_rule("AUD010", "audit", Severity.ERROR,
+      "compute-backend kernel writes undeclared state", "§5")
+_rule("AUD011", "audit", Severity.WARNING,
+      "stale baseline suppression matches no finding", "§5")
+
 
 def rule(rule_id: str) -> Rule:
     """Look up a rule; raises ``KeyError`` for unknown IDs."""

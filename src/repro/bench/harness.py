@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import json
 import platform
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..obs.clock import perf_counter, utc_stamp
 from ..sim.trace import Trace
 
 SCHEMA_VERSION = 1
@@ -82,9 +82,9 @@ def time_stage(
         raise ValueError("repeats must be at least 1")
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, perf_counter() - start)
     return StageResult(
         name=name,
         wall_s=best,
@@ -100,9 +100,9 @@ def time_best(fn: Callable[[], Any], *, repeats: int = 3) -> tuple[float, Any]:
     best = float("inf")
     result: Any = None
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = perf_counter()
         result = fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, perf_counter() - start)
     return best, result
 
 
@@ -133,7 +133,7 @@ def build_report(
         "schema_version": SCHEMA_VERSION,
         "suite": suite,
         "quick": quick,
-        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp_utc": utc_stamp(),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "end_to_end": end_to_end,

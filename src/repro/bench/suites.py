@@ -451,6 +451,36 @@ def state_explore_stage(*, quick: bool) -> StageResult:
     return stage
 
 
+def audit_stage(*, quick: bool) -> StageResult:
+    """Wall time of the rispp-audit source analyzer over the shipped tree.
+
+    A full parse-and-check of ``src/repro`` (no imports executed), the
+    same run the CI ``audit`` job gates on.  Throughput is files/s; the
+    finding counts are recorded so a regression that silently starts
+    flagging (or missing) findings shows up in ``BENCH_runtime.json``.
+    """
+    from ..analysis.audit import run_audit
+
+    holder: dict[str, Any] = {}
+
+    def run() -> None:
+        holder["result"] = run_audit()
+
+    stage = time_stage(
+        "audit", run, iterations=1, repeats=1 if quick else 3, unit="files/s",
+    )
+    result = holder["result"]
+    stage.iterations = result.files_scanned
+    stage.extra = {
+        "files_scanned": result.files_scanned,
+        "findings": len(result.report),
+        "suppressed": result.suppressed,
+        "stale_suppressions": len(result.stale_suppressions),
+        "exit_code": result.exit_code(),
+    }
+    return stage
+
+
 # -- compile_and_run stages ---------------------------------------------------
 
 
@@ -700,6 +730,7 @@ def run_synthetic(*, quick: bool = False) -> dict:
         rounds=20 if quick else 100, repeats=repeats,
     )
     stages.append(state_explore_stage(quick=quick))
+    stages.append(audit_stage(quick=quick))
     return build_report(
         "synthetic", quick=quick, end_to_end=end_to_end, stages=stages,
         metrics=_metrics_snapshot("synthetic", quick=quick),

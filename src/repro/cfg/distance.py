@@ -42,7 +42,7 @@ def min_distance(
     target_set = set(targets)
     dist = {b: math.inf for b in cfg.block_ids()}
     heap: list[tuple[float, str]] = []
-    for t in target_set:
+    for t in sorted(target_set):
         if t not in cfg:
             raise ValueError(f"unknown target block {t!r}")
         dist[t] = 0.0
@@ -115,7 +115,7 @@ def max_distance(
     Blocks that cannot reach a target report ``inf``.
     """
     target_set = set(targets)
-    for t in target_set:
+    for t in sorted(target_set):
         if t not in cfg:
             raise ValueError(f"unknown target block {t!r}")
     condensation = condense(cfg)
@@ -145,7 +145,7 @@ def max_distance(
             for m in condensation.nodes[scc].members
             if m not in target_set
         )
-        for scc in target_sccs
+        for scc in sorted(target_sccs)
     }
     # Longest distance from each SCC to any target SCC; process in Tarjan
     # (reverse topological) order so successors are settled first.

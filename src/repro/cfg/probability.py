@@ -34,7 +34,7 @@ def reach_probability_markov(
     targets absorb with probability 0.
     """
     target_set = set(targets)
-    for t in target_set:
+    for t in sorted(target_set):
         if t not in cfg:
             raise ValueError(f"unknown target block {t!r}")
     ids = cfg.block_ids()
@@ -71,7 +71,7 @@ def reach_probability_scc(
 ) -> dict[str, float]:
     """Hit probability via SCC segmentation + DAG propagation (paper §4.1)."""
     target_set = set(targets)
-    for t in target_set:
+    for t in sorted(target_set):
         if t not in cfg:
             raise ValueError(f"unknown target block {t!r}")
     condensation = condense(cfg)

@@ -14,7 +14,10 @@ scrubbing-based recovery and reports resilience metrics (see
 :mod:`repro.faults`);
 ``python -m repro metrics`` runs one shipped workload with the
 :mod:`repro.obs` telemetry registry attached and prints the collected
-metrics in Prometheus text or JSONL snapshot form.
+metrics in Prometheus text or JSONL snapshot form;
+``python -m repro audit`` statically checks the repro source tree
+itself against its implementation contracts with rispp-audit (see
+:mod:`repro.analysis.audit`).
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 *asserts* the reproduction criteria; this CLI is the quick look.
 """
@@ -194,6 +197,19 @@ EXPERIMENTS = {
 }
 
 
+#: Rule families each diagnostic tool reports on — the single map the
+#: ``--help`` epilogs, ``--list-rules`` and the sync test consume.  The
+#: union over all tools must equal ``repro.analysis.rules.families()``:
+#: a family declared in the catalogue but reachable from no CLI (or vice
+#: versa) is a wiring bug, and tests/test_cli.py asserts it.
+TOOL_FAMILIES: dict[str, tuple[str, ...]] = {
+    "lint": ("lattice", "library", "cfg", "forecast", "schedule"),
+    "verify": ("trace", "feasibility"),
+    "explore": ("explore",),
+    "audit": ("audit",),
+}
+
+
 def _rule_epilog(families: tuple[str, ...]) -> str:
     """The rule catalogue of the given families, for ``--help`` epilogs."""
     from .analysis import RULES
@@ -278,7 +294,7 @@ def _lint(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description="Statically check the shipped RISPP artifacts (rispp-lint).",
-        epilog=_rule_epilog(("lattice", "library", "cfg", "forecast", "schedule")),
+        epilog=_rule_epilog(TOOL_FAMILIES["lint"]),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
@@ -296,7 +312,7 @@ def _lint(argv: list[str]) -> int:
     _add_selector_args(parser)
     args = parser.parse_args(argv)
     if args.list_rules:
-        return _list_rules(("lattice", "library", "cfg", "forecast", "schedule"))
+        return _list_rules(TOOL_FAMILIES["lint"])
     if args.containers is not None and args.containers < 0:
         parser.error(f"--containers must be non-negative, got {args.containers}")
     select, ignore = _resolve_selectors(parser, args)
@@ -322,7 +338,7 @@ def _verify(argv: list[str]) -> int:
             "machine and statically prove worst-case rotation-latency "
             "bounds (rispp-verify)."
         ),
-        epilog=_rule_epilog(("trace", "feasibility")),
+        epilog=_rule_epilog(TOOL_FAMILIES["verify"]),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     source = parser.add_mutually_exclusive_group()
@@ -358,7 +374,7 @@ def _verify(argv: list[str]) -> int:
     _add_selector_args(parser)
     args = parser.parse_args(argv)
     if args.list_rules:
-        return _list_rules(("trace", "feasibility"))
+        return _list_rules(TOOL_FAMILIES["verify"])
     _apply_backend(parser, args)
     select, ignore = _resolve_selectors(parser, args)
     if args.survivable_failures is not None and args.survivable_failures < 0:
@@ -408,7 +424,7 @@ def _explore(argv: list[str]) -> int:
             "reachable state. Violations yield minimized counterexamples "
             "replayable with 'repro verify --trace'."
         ),
-        epilog=_rule_epilog(("explore",)),
+        epilog=_rule_epilog(TOOL_FAMILIES["explore"]),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
@@ -433,7 +449,7 @@ def _explore(argv: list[str]) -> int:
     _add_selector_args(parser)
     args = parser.parse_args(argv)
     if args.list_rules:
-        return _list_rules(("explore",))
+        return _list_rules(TOOL_FAMILIES["explore"])
     if args.max_states is not None and args.max_states < 1:
         parser.error(f"--max-states must be positive, got {args.max_states}")
     try:
@@ -663,16 +679,82 @@ def _metrics(argv: list[str]) -> int:
     return 0
 
 
+def _audit(argv: list[str]) -> int:
+    from .analysis import run_audit
+    from .analysis.rules import rules_of_family
+
+    parser = argparse.ArgumentParser(
+        prog="repro audit",
+        description=(
+            "Statically check the repro source tree itself against its "
+            "implementation contracts (rispp-audit): seeded determinism "
+            "(no stray randomness, wall-clock or environment reads, no "
+            "order-sensitive set iteration), obs-catalogue resolution of "
+            "every instrumentation site, registered rule IDs at every "
+            "diag() call, and compute-backend kernel purity."
+        ),
+        epilog=_rule_epilog(TOOL_FAMILIES["audit"]),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--root", metavar="PATH", default=None,
+        help="source tree to audit (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=(
+            "suppression baseline (default: audit_baseline.json at the "
+            "repository root when present; pass 'none' to disable)"
+        ),
+    )
+    _add_selector_args(parser)
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules(TOOL_FAMILIES["audit"])
+    select, ignore = _resolve_selectors(parser, args)
+    audit_rules = {
+        rule.rule_id
+        for family in TOOL_FAMILIES["audit"]
+        for rule in rules_of_family(family)
+    }
+    for chosen in sorted((select or set()) | (ignore or set())):
+        if chosen not in audit_rules:
+            parser.error(
+                f"rule {chosen!r} is not an audit rule; see 'repro audit --list-rules'"
+            )
+    if args.baseline is None:
+        baseline: "str | None" = "auto"
+    elif args.baseline.lower() == "none":
+        baseline = None
+    else:
+        baseline = args.baseline
+    try:
+        result = run_audit(args.root, baseline=baseline)
+    except (OSError, SyntaxError, ValueError) as exc:
+        parser.error(str(exc))
+    report = result.report.filtered(select=select, ignore=ignore)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(tool="rispp-audit"))
+        print(result.summary(), file=sys.stderr)
+    return report.exit_code()
+
+
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
     return (
-        "usage: repro {list | all | lint | verify | explore | bench | chaos "
-        "| metrics | <experiment>}\n"
+        "usage: repro {list | all | lint | verify | explore | audit | bench "
+        "| chaos | metrics | <experiment>}\n"
         f"experiments: {names}\n"
         "run 'repro list' for descriptions; 'repro lint --help', "
-        "'repro verify --help', 'repro explore --help', 'repro bench "
-        "--help', 'repro chaos --help' and 'repro metrics --help' for "
-        "tool flags"
+        "'repro verify --help', 'repro explore --help', 'repro audit "
+        "--help', 'repro bench --help', 'repro chaos --help' and "
+        "'repro metrics --help' for tool flags"
     )
 
 
@@ -688,6 +770,8 @@ def main(argv: list[str] | None = None) -> int:
         return _verify(rest)
     if command == "explore":
         return _explore(rest)
+    if command == "audit":
+        return _audit(rest)
     if command == "bench":
         return _bench(rest)
     if command == "chaos":
@@ -714,8 +798,8 @@ def main(argv: list[str] | None = None) -> int:
     hint = ""
     close = difflib.get_close_matches(
         command,
-        [*EXPERIMENTS, "list", "all", "lint", "verify", "explore", "bench",
-         "chaos", "metrics"],
+        [*EXPERIMENTS, "list", "all", "lint", "verify", "explore", "audit",
+         "bench", "chaos", "metrics"],
         n=1,
     )
     if close:

@@ -87,7 +87,7 @@ class SILibrary:
             used = set()
             for molecule in si.molecules():
                 used.update(molecule.kinds_used())
-            for kind in used:
+            for kind in sorted(used):
                 users[kind].append(si.name)
         return {kind: tuple(names) for kind, names in users.items()}
 

@@ -201,7 +201,7 @@ def list_schedule(
     while pending:
         ready = [
             op_id
-            for op_id in pending
+            for op_id in sorted(pending)
             if all(dep in finish for dep in dataflow.ops[op_id].deps)
         ]
         ready.sort(key=lambda op_id: (-priority[op_id], op_id))

@@ -91,8 +91,8 @@ def choose_forecast_points(
                 gap = 0.0
             # Walk backwards (transposed successors = original predecessors)
             # and forwards within the cluster; both directions merge chains.
-            for neighbour in set(transposed.successors(block_id)) | set(
-                cfg.successors(block_id)
+            for neighbour in sorted(
+                set(transposed.successors(block_id)) | set(cfg.successors(block_id))
             ):
                 if neighbour in by_block:
                     if neighbour not in visited:

@@ -27,6 +27,7 @@ The metric catalogue with units, sources and paper references lives in
 (undeclared metric names are rejected at instrument creation).
 """
 
+from . import clock
 from .catalogue import CYCLE_BUCKETS, METRICS, NAMESPACE, TIME_BUCKETS, MetricSpec
 from .exporters import (
     SNAPSHOT_KIND,
@@ -64,6 +65,7 @@ __all__ = [
     "MetricRegistry",
     "MetricSpec",
     "NullInstrument",
+    "clock",
     "exposition_state",
     "parse_prometheus",
     "run_metrics_suite",

@@ -26,10 +26,10 @@ hot paths resolve children once at construction time, not per event.
 from __future__ import annotations
 
 import bisect
-import time
 from typing import Any, Callable, Iterator
 
 from .catalogue import COUNTER, GAUGE, HISTOGRAM, MetricSpec, spec_of
+from .clock import perf_counter
 
 
 class _NullSpan:
@@ -91,11 +91,11 @@ class _Span:
         self._start = 0.0
 
     def __enter__(self) -> "_Span":
-        self._start = time.perf_counter()
+        self._start = perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self._histogram.observe(time.perf_counter() - self._start)
+        self._histogram.observe(perf_counter() - self._start)
 
 
 class Instrument:

@@ -100,7 +100,7 @@ class TestSuites:
         assert names == [
             "selection", "selection_backend", "rotation_planning",
             "execute_si", "trace_record", "metrics_overhead",
-            "state_explore",
+            "state_explore", "audit",
         ]
 
     def test_selection_backend_stage_proves_equivalence(
@@ -146,6 +146,17 @@ class TestSuites:
         assert extra["states_explored"] <= extra["max_states"]
         assert extra["violations"] == 0
         assert 0.0 <= extra["dedupe_ratio"] <= 1.0
+
+    def test_audit_stage_reports_clean_gated_run(self, synthetic_report):
+        stage = next(
+            s for s in synthetic_report["stages"] if s["name"] == "audit"
+        )
+        extra = stage["extra"]
+        assert extra["files_scanned"] == stage["iterations"] > 0
+        assert extra["findings"] == 0
+        assert extra["stale_suppressions"] == 0
+        assert extra["exit_code"] == 0
+        assert stage["wall_s"] > 0
 
     def test_report_embeds_deterministic_metrics_snapshot(
         self, synthetic_report

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.analysis.rules import RULES, families, rules_of_family
+from repro.cli import EXPERIMENTS, TOOL_FAMILIES, main
 
 
 class TestCLI:
@@ -48,6 +49,12 @@ class TestCLI:
         err = capsys.readouterr().err
         assert "unknown experiment" in err and "fig99" in err
         assert "fig6" in err  # the close-match hint
+
+    def test_unknown_command_usage_lists_audit(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        for tool in ("lint", "verify", "explore", "audit"):
+            assert tool in err
 
     def test_experiment_rejects_extra_arguments(self, capsys):
         assert main(["fig1", "--bogus"]) == 2
@@ -99,6 +106,11 @@ class TestToolExitCodes:
             ["explore", "--max-states", "0"],
             ["explore", "--select", "TRC001"],
             ["explore", "--select", ""],
+            ["audit", "--select", "NOPE"],
+            ["audit", "--select", "MC001"],
+            ["audit", "--format", "xml"],
+            ["audit", "--root", "/nonexistent/audit/root"],
+            ["audit", "--baseline", "/nonexistent/baseline.json"],
         ],
     )
     def test_bad_arguments_exit_two(self, argv, capsys):
@@ -107,7 +119,7 @@ class TestToolExitCodes:
         assert excinfo.value.code == 2
         assert capsys.readouterr().err
 
-    @pytest.mark.parametrize("tool", ["lint", "verify", "explore"])
+    @pytest.mark.parametrize("tool", ["lint", "verify", "explore", "audit"])
     def test_list_rules_exits_zero(self, tool, capsys):
         assert main([tool, "--list-rules"]) == 0
         assert capsys.readouterr().out.strip()
@@ -118,6 +130,53 @@ class TestToolExitCodes:
         for i in range(1, 11):
             assert f"MC{i:03d}" in out
         assert "TRC001" not in out
+
+
+class TestToolFamilySync:
+    """The CLI's tool→family table must track the rule registry exactly."""
+
+    def test_tool_families_cover_every_registered_family(self):
+        covered = {f for fams in TOOL_FAMILIES.values() for f in fams}
+        assert covered == set(families())
+
+    def test_every_analysis_tool_has_a_family_entry(self):
+        assert set(TOOL_FAMILIES) == {"lint", "verify", "explore", "audit"}
+
+    @pytest.mark.parametrize("tool", ["lint", "verify", "explore", "audit"])
+    def test_list_rules_matches_registry(self, tool, capsys):
+        assert main([tool, "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        expected = {
+            rule.rule_id
+            for family in TOOL_FAMILIES[tool]
+            for rule in rules_of_family(family)
+        }
+        listed = {
+            line.split()[0]
+            for line in out.splitlines()
+            if line.strip() and line.split()[0] in RULES
+        }
+        assert listed == expected
+
+
+class TestAuditCommand:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["audit"]) == 0
+        captured = capsys.readouterr()
+        assert "rispp-audit:" in captured.out
+        assert "scanned" in captured.err
+
+    def test_json_round_trips(self, capsys):
+        assert main(["audit", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["exit_code"] == 0
+        assert all(f["rule_id"].startswith("AUD") for f in payload["findings"])
+
+    def test_no_baseline_surfaces_documented_env_read(self, capsys):
+        assert main(["audit", "--baseline", "none"]) == 1
+        out = capsys.readouterr().out
+        assert "AUD003" in out
+        assert "src/repro/core/backend.py" in out
 
 
 class TestExploreCommand:

@@ -18,11 +18,16 @@ def _observability_stub() -> str:
 
 
 def _analysis_stub() -> str:
-    """A minimal analysis.md covering every MC model-checking rule."""
+    """A minimal analysis.md covering every coverage-checked rule."""
+    from repro.analysis.docs_check import _DOCUMENTED_FAMILIES
     from repro.analysis.rules import rules_of_family
 
     lines = ["# Analysers", ""]
-    lines += [f"- {rule.rule_id}" for rule in rules_of_family("explore")]
+    lines += [
+        f"- {rule.rule_id}"
+        for family in _DOCUMENTED_FAMILIES
+        for rule in rules_of_family(family)
+    ]
     return "\n".join(lines) + "\n"
 
 
@@ -125,7 +130,7 @@ class TestObservabilityCoverage:
         assert any("rispp_quarantine_depth" in f for f in _findings(repo))
 
 
-class TestMcCoverage:
+class TestRuleCoverage:
     def test_missing_analysis_doc_is_flagged(self, repo):
         (repo / "docs" / "analysis.md").unlink()
         assert any(
@@ -136,6 +141,20 @@ class TestMcCoverage:
         stub = _analysis_stub().replace("MC007", "MCxxx")
         (repo / "docs" / "analysis.md").write_text(stub)
         assert any("MC007" in f for f in _findings(repo))
+
+    @pytest.mark.parametrize("rule_id", ["TRC005", "FEA004", "AUD009"])
+    def test_undocumented_rule_of_each_family_is_flagged(self, repo, rule_id):
+        stub = _analysis_stub().replace(rule_id, "redacted")
+        (repo / "docs" / "analysis.md").write_text(stub)
+        assert any(rule_id in f for f in _findings(repo))
+
+    def test_unknown_aud_rule_id_is_flagged(self, repo):
+        (repo / "docs" / "guide.md").write_text("Rule AUD999 applies.\n")
+        assert any("AUD999" in f for f in _findings(repo))
+
+    def test_known_aud_rule_id_passes(self, repo):
+        (repo / "docs" / "guide.md").write_text("Rule AUD001 applies.\n")
+        assert _findings(repo) == []
 
 
 class TestMain:
