@@ -153,6 +153,8 @@ _rule("TRC014", "trace", Severity.ERROR,
       "fault/recovery lifecycle inconsistent with the replayed state", "§5")
 _rule("TRC015", "trace", Severity.ERROR,
       "quarantined Atom Container serves work", "§5")
+_rule("TRC016", "trace", Severity.ERROR,
+      "resume boundary incoherent with the recovery snapshot", "§5")
 
 # -- feasibility family (§4/§5): static worst-case rotation guarantees ------
 _rule("FEA001", "feasibility", Severity.WARNING,

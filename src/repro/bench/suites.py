@@ -70,6 +70,7 @@ def run_si_stream(
     fault_injector=None,
     metrics=None,
     backend=None,
+    wrap=None,
 ) -> RisppRuntime:
     """Fire the loop-head forecasts, then execute the SI stream.
 
@@ -85,6 +86,10 @@ def run_si_stream(
         energy_model=energy_model, faults=fault_injector, metrics=metrics,
         backend=backend,
     )
+    if wrap is not None:
+        # Recovery hook (repro.recovery): journals the stream so the run
+        # can be killed at any command boundary and resumed.
+        rt = wrap(rt)
     now = warmup_cycles
     for _ in range(block_rounds):
         for si_name, expected in forecasts:
@@ -481,6 +486,84 @@ def audit_stage(*, quick: bool) -> StageResult:
     return stage
 
 
+def recovery_stage(*, quick: bool, checkpoint_every: int = 16) -> StageResult:
+    """Snapshot throughput and resume latency of ``repro.recovery``.
+
+    The timed run drives the synthetic SI stream journaled into a
+    temporary store, checkpointing every ``checkpoint_every`` commands —
+    throughput is whole-world snapshots per second.  ``resume_s`` is the
+    separately-timed cost of coming back: restore the latest snapshot
+    into a fresh runtime and replay the journal tail.  ``trace_equal``
+    asserts both the journaled and the resumed traces are identical to
+    an uninterrupted run — the same crash-consistency guarantee the CI
+    crash-recovery job checks end to end with real process kills.
+    """
+    from pathlib import Path
+    from tempfile import TemporaryDirectory
+
+    from ..recovery import RecoverableRuntime, latest_snapshot
+
+    library = build_synthetic_library()
+    forecasts = [("SI0", 64.0), ("SI1", 16.0), ("SI2", 4.0), ("SI3", 1.0)]
+    blocks = [("SI0", 64), ("SI1", 16), ("SI2", 4), ("SI3", 1)]
+    rounds = 6 if quick else 20
+
+    def scenario(wrap: Any = None) -> RisppRuntime:
+        return run_si_stream(
+            library, forecasts, blocks,
+            containers=5, block_rounds=rounds, optimize=True, wrap=wrap,
+        )
+
+    reference_sig = trace_signature(scenario().trace)
+    holder: dict[str, Any] = {}
+
+    with TemporaryDirectory(prefix="rispp-bench-recovery-") as tmp:
+        store = Path(tmp)
+
+        def journaled() -> None:
+            rec = scenario(
+                wrap=lambda rt: RecoverableRuntime(
+                    rt, store, checkpoint_every=checkpoint_every
+                )
+            )
+            rec.close()
+            holder["run"] = rec
+
+        stage = time_stage(
+            "recovery", journaled,
+            iterations=1, repeats=1 if quick else 2, unit="snapshots/s",
+        )
+        run = holder["run"]
+        found = latest_snapshot(store)
+        snapshot_bytes = found[1].stat().st_size if found is not None else 0
+
+        def resume() -> Any:
+            rec = RecoverableRuntime(
+                RisppRuntime(library, 5, core_mhz=100.0, optimize=True),
+                store, checkpoint_every=checkpoint_every, resume=True,
+            )
+            rec.close()
+            return rec
+
+        resume_s, resumed = time_best(resume, repeats=1 if quick else 3)
+
+    trace_equal = (
+        trace_signature(run.trace) == reference_sig
+        and trace_signature(resumed.trace) == reference_sig
+    )
+    stage.iterations = run.snapshots_taken
+    stage.extra = {
+        "checkpoint_every": checkpoint_every,
+        "snapshots": run.snapshots_taken,
+        "snapshot_bytes": snapshot_bytes,
+        "journal_records": run.journal_records,
+        "replayed": resumed.replayed_records,
+        "resume_s": round(resume_s, 6),
+        "trace_equal": trace_equal,
+    }
+    return stage
+
+
 # -- compile_and_run stages ---------------------------------------------------
 
 
@@ -709,7 +792,7 @@ def build_synthetic_library(
     return SILibrary(catalogue, instructions)
 
 
-def run_synthetic(*, quick: bool = False) -> dict:
+def run_synthetic(*, quick: bool = False, checkpoint_every: int = 16) -> dict:
     library = build_synthetic_library()
     forecasts = [("SI0", 64.0), ("SI1", 16.0), ("SI2", 4.0), ("SI3", 1.0)]
     blocks = [("SI0", 64), ("SI1", 16), ("SI2", 4), ("SI3", 1)]
@@ -731,6 +814,9 @@ def run_synthetic(*, quick: bool = False) -> dict:
     )
     stages.append(state_explore_stage(quick=quick))
     stages.append(audit_stage(quick=quick))
+    stages.append(
+        recovery_stage(quick=quick, checkpoint_every=checkpoint_every)
+    )
     return build_report(
         "synthetic", quick=quick, end_to_end=end_to_end, stages=stages,
         metrics=_metrics_snapshot("synthetic", quick=quick),
@@ -744,12 +830,20 @@ SUITES: dict[str, Callable[..., dict]] = {
 }
 
 
-def run_suite(name: str, *, quick: bool = False) -> dict:
-    """Run one named suite and return its report dict."""
+def run_suite(
+    name: str, *, quick: bool = False, checkpoint_every: int = 16
+) -> dict:
+    """Run one named suite and return its report dict.
+
+    ``checkpoint_every`` sets the journal-commands-per-snapshot cadence
+    of the ``recovery`` stage; only the ``synthetic`` suite carries it.
+    """
     try:
         suite = SUITES[name]
     except KeyError:
         raise ValueError(
             f"unknown bench suite {name!r}; choose from {sorted(SUITES)}"
         ) from None
+    if name == "synthetic":
+        return suite(quick=quick, checkpoint_every=checkpoint_every)
     return suite(quick=quick)

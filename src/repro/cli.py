@@ -518,10 +518,23 @@ def _bench(argv: list[str]) -> int:
         "--quick", action="store_true",
         help="reduced iteration counts (CI mode)",
     )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=16, metavar="N",
+        help=(
+            "journal-commands-per-snapshot cadence of the recovery bench "
+            "stage (default: 16)"
+        ),
+    )
     _add_backend_arg(parser)
     args = parser.parse_args(argv)
     _apply_backend(parser, args)
-    report = run_suite(args.suite, quick=args.quick)
+    if args.checkpoint_every < 1:
+        parser.error(
+            f"--checkpoint-every must be positive, got {args.checkpoint_every}"
+        )
+    report = run_suite(
+        args.suite, quick=args.quick, checkpoint_every=args.checkpoint_every
+    )
     print(render_report(report))
     if args.json:
         write_report(report, args.json)
@@ -544,8 +557,18 @@ def _bench(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+#: Metadata file a checkpointed chaos run writes into its store, so
+#: ``--resume`` can rebuild the identical scenario without re-specifying
+#: the campaign flags.
+CHAOS_RUN_META = "run.json"
+CHAOS_RUN_KIND = "rispp-chaos-run"
+
+
 def _chaos(argv: list[str]) -> int:
     import json
+    import math
+    import os
+    from pathlib import Path
 
     from .faults import (
         CHAOS_SUITES,
@@ -553,6 +576,7 @@ def _chaos(argv: list[str]) -> int:
         render_chaos_report,
         run_chaos_suite,
     )
+    from .recovery import JOURNAL_NAME, RecoveryPlan, SimulatedCrash
 
     parser = argparse.ArgumentParser(
         prog="repro chaos",
@@ -561,36 +585,63 @@ def _chaos(argv: list[str]) -> int:
             "inject transient SEUs, mid-write bitstream errors and "
             "permanent defects, recover via scrubbing/quarantine/repair, "
             "verify the trace and report resilience metrics. Deterministic: "
-            "same seed, byte-identical report."
+            "same seed, byte-identical report. With --checkpoint-dir the "
+            "campaign journals into a recovery store and can be resumed "
+            "after a crash (--resume) to the byte-identical report."
         ),
     )
     parser.add_argument(
-        "--suite", choices=sorted(CHAOS_SUITES), default="synthetic",
+        "--suite", choices=sorted(CHAOS_SUITES), default=None,
         help="workload to fuzz (default: synthetic)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, metavar="N",
-        help="fault-schedule seed (default: 0)",
+        "--seed", type=int, default=None, metavar="N",
+        help="fault-schedule seed, positive (default: 1)",
     )
     parser.add_argument(
-        "--fault-rate", type=float, default=5.0, metavar="R",
+        "--fault-rate", type=float, default=None, metavar="R",
         help="expected faults per million cycles (default: 5.0)",
     )
     parser.add_argument(
-        "--scrub-period", type=int, default=10_000, metavar="CYCLES",
+        "--scrub-period", type=int, default=None, metavar="CYCLES",
         help="readback-scrubber pass period (default: 10000)",
     )
     parser.add_argument(
-        "--max-retries", type=int, default=3, metavar="N",
+        "--max-retries", type=int, default=None, metavar="N",
         help="bitstream write retries before giving up (default: 3)",
     )
     parser.add_argument(
-        "--backoff-cycles", type=int, default=1_000, metavar="CYCLES",
+        "--backoff-cycles", type=int, default=None, metavar="CYCLES",
         help="base retry backoff; doubles per attempt (default: 1000)",
     )
     parser.add_argument(
         "--quick", action="store_true",
         help="reduced scenario sizes (CI mode)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="PATH", default=None,
+        help=(
+            "journal the campaign into this recovery store and snapshot "
+            "periodically (see docs/recovery.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="journal commands between snapshots (default: 64)",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help=(
+            "resume an interrupted campaign from its recovery store; the "
+            "scenario flags come from the store's run.json"
+        ),
+    )
+    parser.add_argument(
+        "--crash-at", type=int, default=None, metavar="CYCLE",
+        help=(
+            "seeded crash injection: simulate dying at the first journaled "
+            "command at or past CYCLE (exit code 3)"
+        ),
     )
     parser.add_argument(
         "--format", choices=("text", "json"), default="text",
@@ -603,18 +654,144 @@ def _chaos(argv: list[str]) -> int:
     _add_backend_arg(parser)
     args = parser.parse_args(argv)
     _apply_backend(parser, args)
-    if args.fault_rate < 0:
-        parser.error(f"--fault-rate must be non-negative, got {args.fault_rate}")
+
+    resume = args.resume is not None
+    if resume and args.checkpoint_dir is not None:
+        parser.error("--resume and --checkpoint-dir are mutually exclusive")
+    store = (
+        Path(args.resume)
+        if resume
+        else Path(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None
+    )
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        parser.error(
+            f"--checkpoint-every must be positive, got {args.checkpoint_every}"
+        )
+    if args.crash_at is not None and args.crash_at < 0:
+        parser.error(f"--crash-at cannot be negative, got {args.crash_at}")
+    if store is None:
+        for flag, value in (
+            ("--checkpoint-every", args.checkpoint_every),
+            ("--crash-at", args.crash_at),
+        ):
+            if value is not None:
+                parser.error(f"{flag} needs --checkpoint-dir or --resume")
+
+    if resume:
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--suite", args.suite),
+                ("--seed", args.seed),
+                ("--fault-rate", args.fault_rate),
+                ("--scrub-period", args.scrub_period),
+                ("--max-retries", args.max_retries),
+                ("--backoff-cycles", args.backoff_cycles),
+            )
+            if value is not None
+        ]
+        if args.quick:
+            conflicting.append("--quick")
+        if conflicting:
+            parser.error(
+                "scenario flags conflict with --resume (the scenario comes "
+                "from the store's run.json): " + ", ".join(conflicting)
+            )
+        assert store is not None
+        if not store.is_dir():
+            parser.error(f"--resume path {store} is not a directory")
+        journal_path = store / JOURNAL_NAME
+        if not journal_path.is_file() or not os.access(journal_path, os.R_OK):
+            parser.error(
+                f"--resume store has no readable journal at {journal_path}"
+            )
+        meta_path = store / CHAOS_RUN_META
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read run metadata {meta_path}: {exc}")
+        if not isinstance(meta, dict) or meta.get("kind") != CHAOS_RUN_KIND:
+            parser.error(f"{meta_path} is not a chaos run-metadata file")
+        try:
+            suite = str(meta["suite"])
+            seed = int(meta["seed"])
+            fault_rate = float(meta["fault_rate"])
+            quick = bool(meta["quick"])
+            scrub_period = int(meta["scrub_period"])
+            max_retries = int(meta["max_retries"])
+            backoff_cycles = int(meta["backoff_cycles"])
+        except (KeyError, TypeError, ValueError) as exc:
+            parser.error(f"run metadata {meta_path} is incomplete: {exc!r}")
+    else:
+        suite = args.suite if args.suite is not None else "synthetic"
+        seed = args.seed if args.seed is not None else 1
+        fault_rate = args.fault_rate if args.fault_rate is not None else 5.0
+        quick = args.quick
+        scrub_period = (
+            args.scrub_period if args.scrub_period is not None else 10_000
+        )
+        max_retries = args.max_retries if args.max_retries is not None else 3
+        backoff_cycles = (
+            args.backoff_cycles if args.backoff_cycles is not None else 1_000
+        )
+
+    if not math.isfinite(fault_rate) or fault_rate < 0:
+        parser.error(
+            f"--fault-rate must be finite and non-negative, got {fault_rate}"
+        )
+    if seed < 1:
+        parser.error(f"--seed must be positive, got {seed}")
+
+    recovery = None
+    if store is not None:
+        recovery = RecoveryPlan(
+            store=store,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else 64
+            ),
+            crash_at=args.crash_at,
+            resume=resume,
+        )
+        if not resume:
+            store.mkdir(parents=True, exist_ok=True)
+            meta = {
+                "kind": CHAOS_RUN_KIND,
+                "schema_version": 1,
+                "suite": suite,
+                "seed": seed,
+                "fault_rate": fault_rate,
+                "quick": quick,
+                "scrub_period": scrub_period,
+                "max_retries": max_retries,
+                "backoff_cycles": backoff_cycles,
+            }
+            (store / CHAOS_RUN_META).write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+
     try:
         report = run_chaos_suite(
-            args.suite,
-            seed=args.seed,
-            fault_rate=args.fault_rate,
-            quick=args.quick,
-            scrub_period=args.scrub_period,
-            max_retries=args.max_retries,
-            backoff_cycles=args.backoff_cycles,
+            suite,
+            seed=seed,
+            fault_rate=fault_rate,
+            quick=quick,
+            scrub_period=scrub_period,
+            max_retries=max_retries,
+            backoff_cycles=backoff_cycles,
+            recovery=recovery,
         )
+    except SimulatedCrash as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        print(
+            f"resume with: python -m repro chaos --resume {exc.store}",
+            file=sys.stderr,
+        )
+        return 3
     except ValueError as exc:
         parser.error(str(exc))
     rendered_json = json.dumps(report, indent=2, sort_keys=True)

@@ -22,6 +22,7 @@ byte-identical across runs — the acceptance gate of the fault work.
 from __future__ import annotations
 
 import warnings
+from collections.abc import Sequence
 from dataclasses import asdict
 from typing import TYPE_CHECKING, Any
 
@@ -31,6 +32,7 @@ from .model import FaultSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs import MetricRegistry
+    from ..recovery import RecoveryPlan
     from ..runtime.manager import RisppRuntime
     from ..sim.integration import CompileAndRunResult
 
@@ -48,6 +50,7 @@ def static_repair_bound(
     scrub_period: int,
     max_retries: int,
     backoff_cycles: int,
+    backoff_ladder: "Sequence[int] | None" = None,
 ) -> int:
     """Sound worst-case injection-to-repair latency, in cycles.
 
@@ -55,14 +58,19 @@ def static_repair_bound(
     injection (the next readback pass).  The repair rotation then rides
     the normal serial port: one attempt costs at most the port backlog
     bound (``containers`` worst-case writes), and every mid-write fault
-    costs one more attempt plus its exponential backoff, up to
-    ``max_retries`` extra attempts.  Summing the three terms bounds the
-    MTTR of every *repaired* container; retired containers never count.
+    costs one more attempt plus its backoff (the explicit ladder when
+    configured, exponential doubling of ``backoff_cycles`` otherwise),
+    up to ``max_retries`` extra attempts.  Summing the three terms bounds
+    the MTTR of every *repaired* container; retired containers never
+    count.
     """
     from ..analysis.feasibility import port_backlog_bound
 
     backlog = port_backlog_bound(library, containers)
-    backoff_total = sum(backoff_cycles * 2**i for i in range(max_retries))
+    if backoff_ladder is not None:
+        backoff_total = sum(backoff_ladder)
+    else:
+        backoff_total = sum(backoff_cycles * 2**i for i in range(max_retries))
     return scrub_period + (1 + max_retries) * backlog + backoff_total
 
 
@@ -105,8 +113,10 @@ def _run_stream(
     quick: bool,
     injector: FaultInjector | None,
     metrics: "MetricRegistry | None" = None,
+    wrap: Any = None,
 ) -> "RisppRuntime":
     from ..bench.suites import run_si_stream
+    from ..recovery import query
 
     rounds = config["rounds"]["quick" if quick else "full"]
     runtime = run_si_stream(
@@ -118,8 +128,11 @@ def _run_stream(
         optimize=True,
         fault_injector=injector,
         metrics=metrics,
+        wrap=wrap,
     )
-    end = runtime.trace.last_cycle
+    # Journaled state query: on a resumed run the underlying runtime is
+    # already past this point, so the answer must come from the journal.
+    end = query(runtime, "last_cycle")
     for si_name, _ in config["forecasts"]:
         runtime.forecast_end(si_name, end)
     return runtime
@@ -129,6 +142,7 @@ def _run_aes(
     *,
     injector: FaultInjector | None,
     metrics: "MetricRegistry | None" = None,
+    wrap: Any = None,
 ) -> "CompileAndRunResult":
     from ..apps.aes import (
         build_aes_library,
@@ -156,6 +170,7 @@ def _run_aes(
             profile_runs=2,
             fault_injector=injector,
             metrics=metrics,
+            wrap=wrap,
         )
 
 
@@ -173,12 +188,20 @@ def _quiesce(
     steps always drain the port, the scrubber queue and the retry list.
     Returns the cycle the run settled at (the degraded-time cut-off).
     """
-    now = max(runtime.trace.last_cycle, horizon)
+    from ..recovery import query
+
+    now = max(query(runtime, "last_cycle"), horizon)
     for _ in range(8):
         now += bound + injector.scrub_period
         runtime.advance(now)
-        if runtime.port.is_idle() and injector.open_episodes() == 0:
+        if (
+            query(runtime, "port_idle")
+            and query(runtime, "open_episodes") == 0
+        ):
             break
+    # Not journaled: finalize only runs after the journal is exhausted
+    # (the drained handoff re-issues every journaled command first), so
+    # a resumed run applies it exactly once, like the original would.
     injector.finalize(now)
     return now
 
@@ -196,11 +219,17 @@ def run_chaos_suite(
     max_retries: int = 3,
     backoff_cycles: int = 1_000,
     survivable_failures: int = 1,
+    recovery: "RecoveryPlan | None" = None,
 ) -> dict[str, Any]:
     """One seeded chaos campaign over a shipped suite; returns the report.
 
     Deterministic in its arguments: same seed, same report — byte for
-    byte once rendered with sorted keys.
+    byte once rendered with sorted keys.  A ``recovery`` plan journals
+    and checkpoints the chaos run (the fault-free baseline re-runs from
+    scratch — it is cheap and deterministic), folds rule TRC016 into the
+    report's trace verdict, and keeps the report itself unchanged: a
+    cleanly resumed campaign renders byte-identical to an uninterrupted
+    one.
     """
     from ..analysis.feasibility import prove_feasibility
     from ..analysis.verify import verify_runtime
@@ -247,13 +276,14 @@ def run_chaos_suite(
     from ..obs.exporters import snapshot
 
     registry = MetricRegistry()
+    wrap = recovery.wrap if recovery is not None else None
     if name == "aes":
-        chaos_flow = _run_aes(injector=injector, metrics=registry)
+        chaos_flow = _run_aes(injector=injector, metrics=registry, wrap=wrap)
         runtime = chaos_flow.runtime
         functional_match = chaos_flow.result.env == baseline_flow.result.env
     else:
         runtime = _run_stream(
-            config, quick=quick, injector=injector, metrics=registry
+            config, quick=quick, injector=injector, metrics=registry, wrap=wrap
         )
         # Stream suites carry no data environment; "functionally equal"
         # means every SI call completed, exactly as many as fault-free.
@@ -263,6 +293,13 @@ def run_chaos_suite(
     settled_at = _quiesce(runtime, injector, horizon=horizon, bound=bound)
 
     verify_report = verify_runtime(runtime, subject=f"chaos:{name}")
+    if recovery is not None:
+        from ..recovery import verify_resume
+
+        verify_report.merge(
+            verify_resume(runtime, recovery.store, subject=f"chaos:{name}")
+        )
+        runtime.close()
     feasibility = prove_feasibility(
         library,
         containers,

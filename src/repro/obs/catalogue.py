@@ -36,6 +36,10 @@ TIME_BUCKETS: tuple[float, ...] = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
 )
 
+#: Bucket ladder for serialized artifact sizes, in bytes (powers of
+#: four, 1 KiB .. 256 MiB, +Inf implied).
+BYTE_BUCKETS: tuple[float, ...] = tuple(float(1024 * 4**i) for i in range(10))
+
 COUNTER = "counter"
 GAUGE = "gauge"
 HISTOGRAM = "histogram"
@@ -269,6 +273,46 @@ for _s in (
         "finding per rule and run).",
         unit="violations", source="src/repro/analysis/explore.py",
         paper="§4/§5",
+    ),
+    # -- crash recovery (repro/recovery/runtime.py, robustness) -----------
+    MetricSpec(
+        "recovery_snapshot_bytes", HISTOGRAM,
+        "Serialized size of one whole-world recovery snapshot.  Harness "
+        "telemetry, not scenario state: excluded from deterministic "
+        "snapshots so resumed reports stay byte-identical.",
+        unit="bytes", source="src/repro/recovery/runtime.py",
+        paper="robustness extension", buckets=BYTE_BUCKETS,
+        deterministic=False,
+    ),
+    MetricSpec(
+        "recovery_snapshot_duration_seconds", HISTOGRAM,
+        "Wall-clock time to capture and write one recovery snapshot "
+        "(span timer; excluded from deterministic snapshots).",
+        unit="seconds", source="src/repro/recovery/runtime.py",
+        paper="robustness extension", buckets=TIME_BUCKETS,
+        deterministic=False,
+    ),
+    MetricSpec(
+        "recovery_journal_records_total", COUNTER,
+        "Commands appended to the write-ahead recovery journal "
+        "(harness telemetry; excluded from deterministic snapshots).",
+        unit="records", source="src/repro/recovery/runtime.py",
+        paper="robustness extension", deterministic=False,
+    ),
+    MetricSpec(
+        "recovery_journal_replay_total", COUNTER,
+        "Journaled commands replayed onto a restored snapshot during "
+        "resume (harness telemetry; excluded from deterministic "
+        "snapshots).",
+        unit="records", source="src/repro/recovery/runtime.py",
+        paper="robustness extension", deterministic=False,
+    ),
+    MetricSpec(
+        "recovery_resumes_total", COUNTER,
+        "Runs resumed from a recovery store (harness telemetry; "
+        "excluded from deterministic snapshots).",
+        unit="resumes", source="src/repro/recovery/runtime.py",
+        paper="robustness extension", deterministic=False,
     ),
 ):
     _spec(_s, METRICS)

@@ -1,0 +1,55 @@
+"""Crash-consistent checkpoint/restore for RISPP runs.
+
+The package makes every deterministic driver resumable: a write-ahead
+journal (:mod:`.journal`) records each runtime command before it is
+applied, periodic whole-world snapshots (:mod:`.snapshot`) bound the
+replay work, and :class:`.runtime.RecoverableRuntime` ties both to a
+live :class:`~repro.runtime.manager.RisppRuntime` so a run killed at
+*any* command boundary resumes to a byte-identical outcome.  Rule
+TRC016 (:mod:`.verify`) audits the stitching across resume boundaries.
+"""
+
+from .journal import (
+    JOURNAL_NAME,
+    JOURNAL_OPS,
+    JournalReadResult,
+    JournalRecord,
+    JournalWriter,
+    RecoveryError,
+    read_journal,
+)
+from .runtime import RecoverableRuntime, RecoveryPlan, SimulatedCrash, query
+from .snapshot import (
+    RECOVERY_KIND,
+    RECOVERY_SCHEMA_VERSION,
+    latest_snapshot,
+    list_snapshots,
+    load_snapshot,
+    restore_runtime,
+    snapshot_runtime,
+    write_snapshot,
+)
+from .verify import verify_resume
+
+__all__ = [
+    "JOURNAL_NAME",
+    "JOURNAL_OPS",
+    "JournalReadResult",
+    "JournalRecord",
+    "JournalWriter",
+    "RECOVERY_KIND",
+    "RECOVERY_SCHEMA_VERSION",
+    "RecoverableRuntime",
+    "RecoveryError",
+    "RecoveryPlan",
+    "SimulatedCrash",
+    "latest_snapshot",
+    "list_snapshots",
+    "load_snapshot",
+    "query",
+    "read_journal",
+    "restore_runtime",
+    "snapshot_runtime",
+    "verify_resume",
+    "write_snapshot",
+]

@@ -1,0 +1,193 @@
+"""Write-ahead event journal: the durable half of crash consistency.
+
+Every command a driver issues against a :class:`RecoverableRuntime`
+(forecasts, SI executions, clock advances, container failures, journaled
+state queries) is appended to ``journal.jsonl`` — one JSON record per
+line, CRC-protected — and *flushed before it is applied*.  Killing the
+process at any point therefore leaves one of two states on disk:
+
+* the record is absent — the command never happened; the resumed run
+  re-issues and re-journals it;
+* the record is present (possibly unapplied) — replaying it onto the
+  restored snapshot reproduces exactly the state the command would have
+  produced, because every durable effect of a command lives in the
+  snapshot state and commands are deterministic.
+
+A torn write can only damage the *last* line (appends are sequential),
+so the reader discards a corrupt or partial final record — it was never
+acknowledged — while corruption anywhere earlier, a CRC mismatch on an
+interior line, or a sequence-number gap is a real integrity failure and
+raises :class:`RecoveryError`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any
+
+#: File name of the journal inside a recovery store directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: The replayable command surface (see ``docs/recovery.md``).
+JOURNAL_OPS = (
+    "advance",
+    "execute_si",
+    "fail_container",
+    "forecast",
+    "forecast_end",
+    "query",
+)
+
+
+class RecoveryError(Exception):
+    """A snapshot or journal cannot be used to resume a run.
+
+    Raised for unknown schema versions, interior journal corruption,
+    sequence gaps, snapshot/runtime configuration mismatches and resumed
+    runs that diverge from the journaled command stream.  Deliberately
+    *not* a ``ValueError`` subclass: drivers that guard artifact
+    validation with ``except ValueError`` must not silently swallow a
+    broken recovery store.
+    """
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled command: ``op(args)`` issued at ``cycle``."""
+
+    seq: int
+    cycle: int
+    op: str
+    args: dict[str, Any]
+
+    def payload(self) -> dict[str, Any]:
+        """The CRC-covered portion of the serialized record."""
+        return {
+            "seq": self.seq,
+            "cycle": self.cycle,
+            "op": self.op,
+            "args": dict(self.args),
+        }
+
+
+@dataclass(frozen=True)
+class JournalReadResult:
+    """Outcome of reading a journal file."""
+
+    records: list[JournalRecord]
+    #: A corrupt or partial final line was discarded (torn tail write).
+    discarded_tail: bool
+    #: Byte length of the valid prefix; appenders truncate to this first.
+    valid_bytes: int
+
+
+def _crc(payload: dict[str, Any]) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def encode_record(record: JournalRecord) -> str:
+    """One journal line (no trailing newline)."""
+    body = record.payload()
+    body["crc"] = _crc(record.payload())
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def decode_line(line: str) -> JournalRecord:
+    """Parse and CRC-check one journal line; ``ValueError`` when invalid."""
+    data = json.loads(line)
+    if not isinstance(data, dict):
+        raise ValueError("journal record is not an object")
+    try:
+        crc = data["crc"]
+        record = JournalRecord(
+            seq=int(data["seq"]),
+            cycle=int(data["cycle"]),
+            op=str(data["op"]),
+            args=dict(data["args"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed journal record: {exc}") from exc
+    if record.op not in JOURNAL_OPS:
+        raise ValueError(f"unknown journal op {record.op!r}")
+    if crc != _crc(record.payload()):
+        raise ValueError(f"journal CRC mismatch on seq {record.seq}")
+    return record
+
+
+def read_journal(path: Path) -> JournalReadResult:
+    """Load the journal; tolerate a torn tail, reject interior damage."""
+    if not path.is_file():
+        raise RecoveryError(f"journal not found: {path}")
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    # A well-formed journal ends with a newline, leaving one empty tail
+    # element; anything else after the last newline is a partial write.
+    partial = lines.pop() if lines and lines[-1] != b"" else b""
+    if lines and lines[-1] == b"":
+        lines.pop()
+    records: list[JournalRecord] = []
+    discarded_tail = bool(partial)
+    valid_bytes = 0
+    for index, line in enumerate(lines):
+        try:
+            record = decode_line(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            if index == len(lines) - 1 and not partial:
+                # The final complete line is torn — written but never
+                # acknowledged.  Discard it; the resumed run re-issues.
+                discarded_tail = True
+                break
+            raise RecoveryError(
+                f"journal corrupted at line {index + 1}: {exc}"
+            ) from exc
+        expected = len(records) + 1
+        if record.seq != expected:
+            raise RecoveryError(
+                f"journal sequence gap: expected seq {expected}, "
+                f"found {record.seq} at line {index + 1}"
+            )
+        records.append(record)
+        valid_bytes += len(line) + 1
+    return JournalReadResult(
+        records=records, discarded_tail=discarded_tail, valid_bytes=valid_bytes
+    )
+
+
+class JournalWriter:
+    """Appends CRC'd records, flushing each before the caller applies it."""
+
+    def __init__(self, path: Path, *, start_seq: int = 0, truncate_to: int | None = None):
+        self.path = path
+        self._seq = start_seq
+        if truncate_to is not None:
+            # Cut a torn tail off before appending: a partial final line
+            # would otherwise fuse with the next record.
+            with open(path, "r+b") as raw:
+                raw.truncate(truncate_to)
+        self._fh: IO[str] = open(path, "a", encoding="utf-8")
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq + 1
+
+    def append(self, cycle: int, op: str, args: dict[str, Any]) -> JournalRecord:
+        """Durably record one command *before* it is applied."""
+        record = JournalRecord(seq=self._seq + 1, cycle=cycle, op=op, args=args)
+        self._fh.write(encode_record(record) + "\n")
+        self._fh.flush()
+        self._seq = record.seq
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass

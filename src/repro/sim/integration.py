@@ -166,6 +166,7 @@ def compile_and_run(
     fault_injector=None,
     metrics=None,
     backend=None,
+    wrap=None,
 ) -> CompileAndRunResult:
     """The full RISPP flow on one program.
 
@@ -193,6 +194,10 @@ def compile_and_run(
         energy_model=energy_model, faults=fault_injector, metrics=metrics,
         backend=backend,
     )
+    if wrap is not None:
+        # Recovery hook (repro.recovery): wraps the freshly built runtime
+        # so the annotated execution is journaled and resumable.
+        runtime = wrap(runtime)
     result = run_annotated_program(
         program, annotation, runtime, dict(run_env or {}), lint=False
     )

@@ -100,8 +100,22 @@ class TestSuites:
         assert names == [
             "selection", "selection_backend", "rotation_planning",
             "execute_si", "trace_record", "metrics_overhead",
-            "state_explore", "audit",
+            "state_explore", "audit", "recovery",
         ]
+
+    def test_recovery_stage_proves_crash_consistency(self, synthetic_report):
+        stage = next(
+            s for s in synthetic_report["stages"] if s["name"] == "recovery"
+        )
+        extra = stage["extra"]
+        # The resumed trace must equal the uninterrupted run's — the
+        # same gate the CI crash-recovery job applies end to end.
+        assert extra["trace_equal"] is True
+        assert stage["iterations"] == extra["snapshots"] > 0
+        assert extra["journal_records"] > 0
+        assert extra["snapshot_bytes"] > 0
+        assert extra["resume_s"] > 0
+        assert stage["unit"] == "snapshots/s"
 
     def test_selection_backend_stage_proves_equivalence(
         self, synthetic_report

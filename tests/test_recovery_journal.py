@@ -1,0 +1,150 @@
+"""The write-ahead journal: durability semantics of ``repro.recovery``.
+
+The contract under test is the WAL invariant: a record is either absent
+(the command never happened) or present and replayable.  A torn tail —
+a partial last line, or a corrupt *final* complete line — is discarded
+silently because it was never acknowledged; damage anywhere earlier is
+an integrity failure and must raise the typed :class:`RecoveryError`,
+never a bare ``KeyError``/``ValueError`` a driver might swallow.
+"""
+
+import json
+
+import pytest
+
+from repro.recovery import (
+    JOURNAL_OPS,
+    JournalRecord,
+    JournalWriter,
+    RecoveryError,
+    read_journal,
+)
+from repro.recovery.journal import decode_line, encode_record
+
+
+def write_records(path, count, *, op="advance"):
+    writer = JournalWriter(path)
+    records = [writer.append(100 * i, op, {}) for i in range(1, count + 1)]
+    writer.close()
+    return records
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = JournalRecord(
+            seq=3, cycle=70, op="execute_si", args={"si": "SI0", "task": "main"}
+        )
+        assert decode_line(encode_record(record)) == record
+
+    def test_crc_detects_tampering(self):
+        line = encode_record(JournalRecord(seq=1, cycle=5, op="advance", args={}))
+        tampered = line.replace('"cycle":5', '"cycle":6')
+        with pytest.raises(ValueError, match="CRC"):
+            decode_line(tampered)
+
+    def test_unknown_op_rejected(self):
+        body = {"seq": 1, "cycle": 0, "op": "reboot", "args": {}}
+        from repro.recovery.journal import _crc
+
+        body["crc"] = _crc(dict(body))
+        with pytest.raises(ValueError, match="unknown journal op"):
+            decode_line(json.dumps(body))
+
+    def test_op_surface_is_the_documented_six(self):
+        assert JOURNAL_OPS == (
+            "advance",
+            "execute_si",
+            "fail_container",
+            "forecast",
+            "forecast_end",
+            "query",
+        )
+
+
+class TestReadJournal:
+    def test_clean_journal_round_trips(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        written = write_records(path, 5)
+        read = read_journal(path)
+        assert read.records == written
+        assert not read.discarded_tail
+        assert read.valid_bytes == path.stat().st_size
+
+    def test_missing_journal_is_a_recovery_error(self, tmp_path):
+        with pytest.raises(RecoveryError, match="not found"):
+            read_journal(tmp_path / "journal.jsonl")
+
+    def test_partial_last_line_discarded(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, 3)
+        whole = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq":4,"cycle":400,"op":"adv')  # no newline: torn
+        read = read_journal(path)
+        assert [r.seq for r in read.records] == [1, 2, 3]
+        assert read.discarded_tail
+        assert read.valid_bytes == whole
+
+    def test_corrupt_final_complete_line_discarded(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, 3)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2] + "garbage"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        read = read_journal(path)
+        assert [r.seq for r in read.records] == [1, 2]
+        assert read.discarded_tail
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, 4)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "not json at all"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(RecoveryError, match="corrupted at line 2"):
+            read_journal(path)
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, 2)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(
+                encode_record(
+                    JournalRecord(seq=9, cycle=900, op="advance", args={})
+                )
+                + "\n"
+            )
+        with pytest.raises(RecoveryError, match="sequence gap"):
+            read_journal(path)
+
+    def test_recovery_error_is_not_a_value_error(self):
+        # Drivers guard artifact parsing with ``except ValueError``; a
+        # broken recovery store must never be swallowed by that.
+        assert not issubclass(RecoveryError, ValueError)
+        assert not issubclass(RecoveryError, KeyError)
+
+
+class TestJournalWriter:
+    def test_truncate_cuts_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, 2)
+        read_before = read_journal(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq":3,"cyc')
+        writer = JournalWriter(
+            path, start_seq=2, truncate_to=read_before.valid_bytes
+        )
+        writer.append(300, "advance", {})
+        writer.close()
+        read = read_journal(path)
+        assert [r.seq for r in read.records] == [1, 2, 3]
+        assert not read.discarded_tail
+
+    def test_next_seq_continues_from_start_seq(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_records(path, 3)
+        writer = JournalWriter(path, start_seq=3)
+        assert writer.next_seq == 4
+        assert writer.append(400, "forecast_end", {"si": "SI0", "task": "main"}).seq == 4
+        writer.close()
+        assert [r.seq for r in read_journal(path).records] == [1, 2, 3, 4]
