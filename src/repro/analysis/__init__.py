@@ -56,6 +56,7 @@ from .lint import (
     BUILTIN_SUBJECTS,
     lint_builtin,
     lint_cfg,
+    lint_events,
     lint_flow,
     lint_forecast,
     lint_library,
@@ -67,6 +68,7 @@ from .rules import families, render_rule_list
 from .registry import (
     RULES,
     Checker,
+    EventBusArtifact,
     FeasibilityArtifact,
     ForecastArtifact,
     LintContext,
@@ -106,6 +108,7 @@ __all__ = [
     "EXPLORE_SCOPES",
     "ExploreResult",
     "ExploreScope",
+    "EventBusArtifact",
     "FeasibilityArtifact",
     "FeasibilityResult",
     "ForecastArtifact",
@@ -134,6 +137,7 @@ __all__ = [
     "golden_from_runtime",
     "lint_builtin",
     "lint_cfg",
+    "lint_events",
     "lint_flow",
     "lint_forecast",
     "lint_library",

@@ -9,7 +9,15 @@ references drift from the code:
   :data:`repro.analysis.registry.RULES` registry;
 * ``rispp_*`` metric names absent from the :mod:`repro.obs` catalogue;
 * catalogue metrics *not documented* in ``docs/observability.md`` — the
-  metric table must cover every declared family.
+  metric table must cover every declared family;
+* the runtime event taxonomy against ``docs/events.md`` — every bus
+  event, handler and priority band documented, no stale names;
+* the service surface against ``docs/serving.md`` — every endpoint of
+  :data:`repro.serve.ENDPOINTS` and every scenario field documented,
+  no phantom endpoints;
+* the README CLI table against :data:`repro.cli.TOOL_COMMANDS` — every
+  tool has a row, every row names a real tool, and every ``--flag`` a
+  row shows exists in that tool's ``--help``.
 
 Fenced code blocks are skipped for the rule-ID and metric-name checks:
 examples there may legitimately show invalid IDs (e.g. the "unknown
@@ -27,7 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Families of rule IDs the analysis registries declare.
-_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA|MC|AUD)\d{3}\b")
+_RULE_ID = re.compile(r"\b(?:LAT|LIB|CFG|FC|SCH|ROT|TRC|FEA|MC|AUD|EVT)\d{3}\b")
 #: Exported metric names (the ``rispp_`` namespace) as written in prose.
 _METRIC_NAME = re.compile(r"\brispp_[a-z][a-z0-9_]*\b")
 #: Literal repository paths under the package root.
@@ -181,9 +189,10 @@ def _check_observability_coverage(root: Path) -> list[Finding]:
 
 
 #: Rule families whose every member must appear in ``docs/analysis.md``
-#: (the verifier TRC/FEA, model-checker MC and source-audit AUD
-#: catalogues live there; lint families are documented per-module).
-_DOCUMENTED_FAMILIES = ("trace", "feasibility", "explore", "audit")
+#: (the verifier TRC/FEA, model-checker MC, source-audit AUD and
+#: event-bus EVT catalogues live there; the remaining lint families are
+#: documented per-module).
+_DOCUMENTED_FAMILIES = ("trace", "feasibility", "explore", "audit", "events")
 
 
 def _check_rule_coverage(root: Path) -> list[Finding]:
@@ -215,6 +224,228 @@ def _check_rule_coverage(root: Path) -> list[Finding]:
     return findings
 
 
+#: Backticked identifiers in ``docs/events.md`` that look like bus event
+#: names (CamelCase ending in the taxonomy's participle vocabulary).
+_EVENTISH = re.compile(
+    r"`([A-Z][A-Za-z]*(?:Fired|Ended|Executed|Switched|Requested|Completed"
+    r"|Reallocated|Failed|Injected|Detected|Quarantined|Repaired|Retried)"
+    r"|Tick)`"
+)
+#: Backticked handler names (``_trace_forecast`` style) in the docs.
+_HANDLERISH = re.compile(r"`(_[a-z][a-z0-9_]*)`")
+#: Backticked priority-band constants.
+_PRIORITYISH = re.compile(r"`(PRIORITY_[A-Z_]+)`")
+
+
+def _check_events_coverage(root: Path) -> list[Finding]:
+    """``docs/events.md`` ↔ the live taxonomy, both directions.
+
+    Forward: every event type, every default-wiring handler and every
+    priority band must appear in the doc.  Reverse: every backticked
+    event/handler/priority token in the doc must exist in
+    :mod:`repro.runtime.events`.
+    """
+    from ..runtime import events as ev
+
+    doc = root / "docs" / "events.md"
+    rel = doc.relative_to(root).as_posix()
+    event_names = {t.__name__ for t in ev.EVENT_TYPES}
+    handler_names = {handler.__name__ for _, _, handler in ev.DEFAULT_WIRING}
+    priority_names = {
+        name for name in dir(ev) if name.startswith("PRIORITY_")
+    }
+    if not doc.exists():
+        return [
+            Finding(
+                rel, 1,
+                "docs/events.md is missing; it must document the "
+                f"{len(event_names)}-event taxonomy and its wiring",
+            )
+        ]
+    findings: list[Finding] = []
+    text = doc.read_text(encoding="utf-8")
+    for name in sorted(event_names):
+        if name not in text:
+            findings.append(
+                Finding(rel, 1, f"bus event {name!r} is not documented")
+            )
+    for name in sorted(handler_names):
+        if name not in text:
+            findings.append(
+                Finding(
+                    rel, 1,
+                    f"default-wiring handler {name!r} is not documented",
+                )
+            )
+    for name in sorted(priority_names):
+        if name not in text:
+            findings.append(
+                Finding(rel, 1, f"priority band {name!r} is not documented")
+            )
+    for number, line, fenced in _iter_lines(doc):
+        if fenced:
+            continue
+        for match in _EVENTISH.finditer(line):
+            if match.group(1) not in event_names:
+                findings.append(
+                    Finding(
+                        rel, number,
+                        f"unknown bus event {match.group(1)!r}; the "
+                        "taxonomy is repro.runtime.events.EVENT_TYPES",
+                    )
+                )
+        for match in _HANDLERISH.finditer(line):
+            if match.group(1) not in handler_names:
+                findings.append(
+                    Finding(
+                        rel, number,
+                        f"unknown handler {match.group(1)!r}; not part "
+                        "of repro.runtime.events.DEFAULT_WIRING",
+                    )
+                )
+        for match in _PRIORITYISH.finditer(line):
+            if match.group(1) not in priority_names:
+                findings.append(
+                    Finding(
+                        rel, number,
+                        f"unknown priority band {match.group(1)!r}",
+                    )
+                )
+    return findings
+
+
+#: ``METHOD /path`` endpoint tokens as written in ``docs/serving.md``.
+_ENDPOINTISH = re.compile(r"\b(GET|POST|PUT|DELETE|PATCH|HEAD)\s+(/[a-z]*)")
+
+
+def _check_serving_coverage(root: Path) -> list[Finding]:
+    """``docs/serving.md`` ↔ the daemon surface, both directions.
+
+    Forward: every endpoint of :data:`repro.serve.ENDPOINTS` and every
+    scenario field of :data:`repro.serve.SCENARIO_DEFAULTS` must appear
+    in the doc.  Reverse: every ``METHOD /path`` token the doc shows
+    must be a real endpoint.
+    """
+    from ..serve import ENDPOINTS, SCENARIO_DEFAULTS
+
+    doc = root / "docs" / "serving.md"
+    rel = doc.relative_to(root).as_posix()
+    endpoints = {(method, path) for method, path, _ in ENDPOINTS}
+    if not doc.exists():
+        return [
+            Finding(
+                rel, 1,
+                "docs/serving.md is missing; it must document the "
+                f"{len(endpoints)} service endpoints",
+            )
+        ]
+    findings: list[Finding] = []
+    text = doc.read_text(encoding="utf-8")
+    for method, path in sorted(endpoints):
+        if f"{method} {path}" not in text:
+            findings.append(
+                Finding(
+                    rel, 1,
+                    f"endpoint '{method} {path}' is not documented",
+                )
+            )
+    for field in sorted(SCENARIO_DEFAULTS):
+        if f"`{field}`" not in text:
+            findings.append(
+                Finding(
+                    rel, 1,
+                    f"scenario request field {field!r} is not documented",
+                )
+            )
+    for number, line, _fenced in _iter_lines(doc):
+        # Endpoint tokens are checked inside code fences too: a fenced
+        # curl example hitting a phantom endpoint is exactly the drift
+        # this check exists to catch.
+        for match in _ENDPOINTISH.finditer(line):
+            if (match.group(1), match.group(2)) not in endpoints:
+                findings.append(
+                    Finding(
+                        rel, number,
+                        f"unknown endpoint '{match.group(1)} "
+                        f"{match.group(2)}'; the surface is "
+                        "repro.serve.ENDPOINTS",
+                    )
+                )
+    return findings
+
+
+#: CLI long flags (``--flag``) as written in README table rows.
+_FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+#: Non-tool README table commands that need no TOOL_COMMANDS entry.
+_CLI_EXTRAS = frozenset({"list", "all"})
+
+
+def _check_cli_surface(root: Path) -> list[Finding]:
+    """README CLI table ↔ :data:`repro.cli.TOOL_COMMANDS`, both directions.
+
+    Every tool command must have a table row; every row's command must
+    be a real tool (or ``list``/``all``/a ``<figN>`` placeholder); every
+    ``--flag`` a tool's row mentions must appear in that tool's
+    ``--help`` output.
+    """
+    from ..cli import TOOL_COMMANDS, tool_help
+
+    readme = root / "README.md"
+    rel = "README.md"
+    if not readme.exists():
+        return [Finding(rel, 1, "README.md is missing")]
+    findings: list[Finding] = []
+    seen: set[str] = set()
+    help_flags: dict[str, set[str]] = {}
+    for number, line, fenced in _iter_lines(readme):
+        if fenced or not line.lstrip().startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if not cells or not cells[0].startswith("`"):
+            continue
+        first = re.match(r"`([^`]+)`", cells[0])
+        if first is None:
+            continue
+        words = first.group(1).split()
+        command = words[0]
+        # Only command-shaped tokens: README also tables filenames
+        # (examples/) and paths, which are not CLI rows.
+        if "." in command or "/" in command:
+            continue
+        if command.startswith("<") or command in _CLI_EXTRAS:
+            continue
+        if command not in TOOL_COMMANDS:
+            findings.append(
+                Finding(
+                    rel, number,
+                    f"CLI table row names unknown tool {command!r}; "
+                    "the surface is repro.cli.TOOL_COMMANDS",
+                )
+            )
+            continue
+        seen.add(command)
+        if command not in help_flags:
+            help_flags[command] = set(_FLAG.findall(tool_help(command)))
+        for flag in _FLAG.findall(line):
+            if flag not in help_flags[command]:
+                findings.append(
+                    Finding(
+                        rel, number,
+                        f"flag {flag!r} is not accepted by "
+                        f"'repro {command}' (per its --help)",
+                    )
+                )
+    for command in sorted(set(TOOL_COMMANDS) - seen):
+        findings.append(
+            Finding(
+                rel, 1,
+                f"tool 'repro {command}' has no row in the README "
+                "CLI table",
+            )
+        )
+    return findings
+
+
 def check_docs(root: Path) -> list[Finding]:
     """All documentation findings for the repository at ``root``."""
     from .registry import RULES
@@ -229,6 +460,9 @@ def check_docs(root: Path) -> list[Finding]:
         )
     findings.extend(_check_observability_coverage(root))
     findings.extend(_check_rule_coverage(root))
+    findings.extend(_check_events_coverage(root))
+    findings.extend(_check_serving_coverage(root))
+    findings.extend(_check_cli_surface(root))
     return findings
 
 

@@ -1,0 +1,161 @@
+"""Event-bus wiring checker (rules EVT001..EVT003).
+
+The runtime core publishes typed events through
+:mod:`repro.runtime.events`; the trace byte-identity contract with the
+pre-bus loop rests on three structural facts, each machine-checked
+here against an :class:`~repro.analysis.registry.EventBusArtifact`:
+
+* **EVT001** — the live bus wiring (per event type, in dispatch order)
+  is exactly :data:`~repro.runtime.events.DEFAULT_WIRING`, the
+  documented ordering of ``docs/events.md``.
+* **EVT002** — for every traced event, the trace recorder runs first
+  (:data:`~repro.runtime.events.PRIORITY_TRACE`, strictly below every
+  other priority band), so state-mutating handlers cannot perturb what
+  lands in the trace row.
+* **EVT003** — the event taxonomy covers the trace vocabulary: each
+  event's ``TRACE_KIND`` is unique, and every
+  :class:`~repro.sim.trace.EventKind` is either produced by exactly one
+  bus event or declared bus-external in
+  :data:`~repro.runtime.events.NON_BUS_KINDS`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+
+from .diagnostics import Diagnostic
+from .registry import EventBusArtifact, LintContext, checker
+from .rules import diag
+
+
+@checker("event-wiring", "events", EventBusArtifact)
+def check_event_bus(
+    artifact: EventBusArtifact, ctx: LintContext
+) -> Iterator[Diagnostic]:
+    from ..runtime.events import (
+        DEFAULT_WIRING,
+        EVENT_TYPES,
+        NON_BUS_KINDS,
+        PRIORITY_TRACE,
+    )
+    from ..sim.trace import EventKind
+
+    bus = artifact.bus
+    assert bus is not None  # __post_init__ fills in the default bus
+    subject = artifact.subject or ctx.subject or "events:bus"
+
+    # EVT001: live wiring == documented wiring, order included.
+    documented: dict[str, list[tuple[int, str]]] = {
+        event_type.__name__: [] for event_type in EVENT_TYPES
+    }
+    for event_type, priority, handler in DEFAULT_WIRING:
+        documented[event_type.__name__].append((priority, handler.__name__))
+    live = bus.wiring()
+    for name, expected in documented.items():
+        actual = list(live.get(name, ()))
+        if actual != expected:
+            yield diag(
+                "EVT001",
+                f"wiring of {name} diverges from the documented default: "
+                f"expected {expected}, bus dispatches {actual}",
+                subject=subject,
+                location=name,
+                expected=[list(e) for e in expected],
+                actual=[list(a) for a in actual],
+            )
+
+    # EVT002: trace handlers go first, and only they sit in the trace band.
+    for event_type in EVENT_TYPES:
+        subs = bus.subscriptions(event_type)
+        name = event_type.__name__
+        if event_type.TRACE_KIND is not None:
+            if not subs:
+                yield diag(
+                    "EVT002",
+                    f"traced event {name} has no subscribed handlers; "
+                    "its trace rows would silently vanish",
+                    subject=subject,
+                    location=name,
+                )
+                continue
+            first = subs[0]
+            if first.priority != PRIORITY_TRACE:
+                yield diag(
+                    "EVT002",
+                    f"first handler of traced event {name} is "
+                    f"{first.name} at priority {first.priority}, not a "
+                    f"trace recorder at {PRIORITY_TRACE}",
+                    subject=subject,
+                    location=name,
+                    handler=first.name,
+                    priority=first.priority,
+                )
+        for sub in subs:
+            if sub.priority == PRIORITY_TRACE and not sub.name.startswith(
+                "_trace"
+            ):
+                yield diag(
+                    "EVT002",
+                    f"handler {sub.name} of {name} occupies the trace "
+                    "priority band but is not a trace recorder",
+                    subject=subject,
+                    location=name,
+                    handler=sub.name,
+                )
+
+    # EVT003: TRACE_KIND is injective and, with NON_BUS_KINDS, covers
+    # the whole trace vocabulary.
+    kind_sources: dict[EventKind, list[str]] = {}
+    for event_type in EVENT_TYPES:
+        kind = event_type.TRACE_KIND
+        if kind is not None:
+            kind_sources.setdefault(kind, []).append(event_type.__name__)
+    for kind, sources in sorted(kind_sources.items(), key=lambda kv: kv[0].value):
+        if len(sources) > 1:
+            yield diag(
+                "EVT003",
+                f"trace kind {kind.value} is claimed by multiple events: "
+                f"{', '.join(sources)}",
+                subject=subject,
+                location=kind.value,
+                events=sources,
+            )
+    uncovered = sorted(
+        k.value for k in EventKind if k not in kind_sources and k not in NON_BUS_KINDS
+    )
+    if uncovered:
+        yield diag(
+            "EVT003",
+            "trace kinds neither produced by a bus event nor declared "
+            f"bus-external: {', '.join(uncovered)}",
+            subject=subject,
+            kinds=uncovered,
+        )
+    stale = sorted(
+        k.value for k in NON_BUS_KINDS if k in kind_sources
+    )
+    if stale:
+        yield diag(
+            "EVT003",
+            "trace kinds declared bus-external but produced by a bus "
+            f"event: {', '.join(stale)}",
+            subject=subject,
+            kinds=stale,
+        )
+
+    # A duplicate (event, handler) subscription would double-apply state
+    # transitions while keeping the wiring table superficially plausible.
+    for event_type in EVENT_TYPES:
+        names = Counter(s.name for s in bus.subscriptions(event_type))
+        for handler_name, count in sorted(names.items()):
+            if count > 1:
+                yield diag(
+                    "EVT001",
+                    f"handler {handler_name} is subscribed to "
+                    f"{event_type.__name__} {count} times",
+                    subject=subject,
+                    location=event_type.__name__,
+                    handler=handler_name,
+                    count=count,
+                )

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 from .diagnostics import DiagnosticReport
 from .registry import (
+    EventBusArtifact,
     ForecastArtifact,
     LintContext,
     RotationLog,
@@ -33,6 +34,7 @@ if TYPE_CHECKING:
     from ..forecast.fdf import ForecastDecisionFunction
     from ..forecast.placement import ForecastPoint
     from ..hardware.reconfig import ReconfigurationPort, RotationJob
+    from ..runtime.events import EventBus
 
 
 def lint_library(
@@ -104,6 +106,20 @@ def lint_rotations(
     return run_checks(log, context=LintContext(subject=subject))
 
 
+def lint_events(
+    bus: "EventBus | None" = None,
+    *,
+    subject: str = "",
+) -> DiagnosticReport:
+    """Event-bus wiring coherence checks (EVT rules).
+
+    ``bus=None`` checks a fresh default bus — the wiring every runtime
+    gets unless a caller injects its own.
+    """
+    artifact = EventBusArtifact(bus=bus, subject=subject or "events:default-bus")
+    return run_checks(artifact, context=LintContext(subject=subject))
+
+
 def lint_flow(
     cfg: "ControlFlowGraph",
     library: "SILibrary",
@@ -136,7 +152,7 @@ def lint_flow(
 # Built-in subjects: what ``python -m repro lint`` analyses
 # ---------------------------------------------------------------------------
 
-BUILTIN_SUBJECTS = ("h264", "aes")
+BUILTIN_SUBJECTS = ("h264", "aes", "events")
 
 
 def _h264_artifacts(containers: int | None) -> DiagnosticReport:
@@ -206,6 +222,8 @@ def lint_builtin(
             report.merge(_h264_artifacts(containers))
         elif subject == "aes":
             report.merge(_aes_artifacts(containers))
+        elif subject == "events":
+            report.merge(lint_events(subject="events:default-bus"))
         else:
             raise ValueError(
                 f"unknown lint subject {subject!r}; "

@@ -564,6 +564,57 @@ def recovery_stage(*, quick: bool, checkpoint_every: int = 16) -> StageResult:
     return stage
 
 
+def serve_stage(*, quick: bool) -> StageResult:
+    """Scenario-daemon throughput through the RuntimeFacade (scenarios/s).
+
+    Pushes one batch of seeded quick chaos scenarios through a 1-worker
+    and a 4-worker :class:`repro.serve.RuntimeFacade` (each pool warmed
+    with an untimed batch first, so process spawn and imports stay out
+    of the measurement).  Throughput is the 4-worker figure; the
+    1-worker wall time and the resulting speedup ride along in
+    ``extra``, and ``results_equal`` asserts both pools returned
+    byte-identical responses per request — the serve determinism
+    contract the CLI turns into the bench exit code.
+    """
+    from ..serve import RuntimeFacade
+
+    seeds = (3, 5) if quick else (3, 5, 7, 11)
+    payloads = [
+        {"suite": "synthetic", "seed": seed, "fault_rate": 50.0, "quick": True}
+        for seed in seeds
+    ]
+
+    def batch(facade: Any) -> list[str]:
+        futures = [facade.submit(p) for p in payloads]
+        return [f.result() for f in futures]
+
+    wall: dict[int, float] = {}
+    results: dict[int, list[str]] = {}
+    for workers in (1, 4):
+        with RuntimeFacade(workers=workers) as facade:
+            batch(facade)  # warm the pool
+            wall[workers], results[workers] = time_best(
+                lambda: batch(facade), repeats=1 if quick else 2
+            )
+    speedup = wall[1] / wall[4] if wall[4] > 0 else float("inf")
+    return StageResult(
+        name="serve",
+        wall_s=wall[4],
+        iterations=len(payloads),
+        repeats=1 if quick else 2,
+        unit="scenarios/s",
+        extra={
+            "workers": 4,
+            "scenarios": len(payloads),
+            "seeds": list(seeds),
+            "wall_1_worker_s": round(wall[1], 6),
+            "wall_4_workers_s": round(wall[4], 6),
+            "speedup_4_workers": round(speedup, 2),
+            "results_equal": results[1] == results[4],
+        },
+    )
+
+
 # -- compile_and_run stages ---------------------------------------------------
 
 
@@ -817,6 +868,7 @@ def run_synthetic(*, quick: bool = False, checkpoint_every: int = 16) -> dict:
     stages.append(
         recovery_stage(quick=quick, checkpoint_every=checkpoint_every)
     )
+    stages.append(serve_stage(quick=quick))
     return build_report(
         "synthetic", quick=quick, end_to_end=end_to_end, stages=stages,
         metrics=_metrics_snapshot("synthetic", quick=quick),

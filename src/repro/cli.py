@@ -17,7 +17,11 @@ scrubbing-based recovery and reports resilience metrics (see
 metrics in Prometheus text or JSONL snapshot form;
 ``python -m repro audit`` statically checks the repro source tree
 itself against its implementation contracts with rispp-audit (see
-:mod:`repro.analysis.audit`).
+:mod:`repro.analysis.audit`);
+``python -m repro serve`` runs the long-lived scenario daemon that
+answers chaos scenario requests over local HTTP/JSON with
+byte-deterministic reports (see :mod:`repro.serve` and
+``docs/serving.md``).
 The benchmark suite (``pytest benchmarks/ --benchmark-only``) additionally
 *asserts* the reproduction criteria; this CLI is the quick look.
 """
@@ -27,6 +31,7 @@ from __future__ import annotations
 import argparse
 import difflib
 import sys
+from typing import Callable
 
 
 def _fig1() -> str:
@@ -203,7 +208,7 @@ EXPERIMENTS = {
 #: a family declared in the catalogue but reachable from no CLI (or vice
 #: versa) is a wiring bug, and tests/test_cli.py asserts it.
 TOOL_FAMILIES: dict[str, tuple[str, ...]] = {
-    "lint": ("lattice", "library", "cfg", "forecast", "schedule"),
+    "lint": ("lattice", "library", "cfg", "forecast", "schedule", "events"),
     "verify": ("trace", "feasibility"),
     "explore": ("explore",),
     "audit": ("audit",),
@@ -248,6 +253,26 @@ def _apply_backend(
         set_default_backend(args.backend)
     except BackendUnavailableError as exc:
         parser.error(str(exc))
+
+
+def _write_guarded(
+    parser: argparse.ArgumentParser, path: str, text: str, *, force: bool
+) -> None:
+    """Write a report file, refusing to clobber existing files.
+
+    Silent overwrites destroy evidence (a baseline report, a previous
+    campaign); without ``--force`` an existing target is a usage error
+    (exit 2), like any other bad flag combination.
+    """
+    import os
+
+    if not force and os.path.exists(path):
+        parser.error(
+            f"refusing to overwrite existing file {path}; pass --force "
+            "to replace it"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
 
 
 def _add_selector_args(parser: argparse.ArgumentParser) -> None:
@@ -651,6 +676,10 @@ def _chaos(argv: list[str]) -> int:
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. CHAOS_synthetic.json)",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --json file instead of refusing",
+    )
     _add_backend_arg(parser)
     args = parser.parse_args(argv)
     _apply_backend(parser, args)
@@ -800,9 +829,7 @@ def _chaos(argv: list[str]) -> int:
     else:
         print(render_chaos_report(report))
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as fh:
-            fh.write(rendered_json)
-            fh.write("\n")
+        _write_guarded(parser, args.json, rendered_json + "\n", force=args.force)
         print(f"report written to {args.json}", file=sys.stderr)
     return 0 if chaos_ok(report) else 1
 
@@ -837,6 +864,10 @@ def _metrics(argv: list[str]) -> int:
         "--output", metavar="PATH", default=None,
         help="also write the export to a file",
     )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --output file instead of refusing",
+    )
     _add_backend_arg(parser)
     args = parser.parse_args(argv)
     _apply_backend(parser, args)
@@ -850,8 +881,7 @@ def _metrics(argv: list[str]) -> int:
         text = to_jsonl(registry)
     print(text, end="")
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        _write_guarded(parser, args.output, text, force=args.force)
         print(f"metrics written to {args.output}", file=sys.stderr)
     return 0
 
@@ -922,16 +952,82 @@ def _audit(argv: list[str]) -> int:
     return report.exit_code()
 
 
+def _serve(argv: list[str]) -> int:
+    from .serve import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the long-lived scenario daemon: accept chaos scenario "
+            "requests (suite, seed, fault-rate, backend, fault-handling "
+            "config) over a local HTTP/JSON API, shard them across a "
+            "worker process pool and answer with byte-deterministic "
+            "reports. Serves /healthz, /readyz and a Prometheus /metrics "
+            "exposition; POST /shutdown stops it gracefully (exit 0). "
+            "API schema and endpoint contracts: docs/serving.md."
+        ),
+    )
+    parser.add_argument(
+        "--host", default=DEFAULT_HOST, metavar="ADDR",
+        help=f"address to bind (default: {DEFAULT_HOST})",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="N",
+        help=(
+            "TCP port to bind; 0 lets the kernel pick a free one, "
+            f"announced on stdout (default: {DEFAULT_PORT})"
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="scenario worker processes (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.port <= 65535:
+        parser.error(f"--port must be in [0, 65535], got {args.port}")
+    if args.workers < 1:
+        parser.error(f"--workers must be positive, got {args.workers}")
+    return serve(args.host, args.port, workers=args.workers)
+
+
+#: Every flag-taking subcommand, dispatch-ready.  This is the canonical
+#: CLI tool surface: the README's tool table is validated against it
+#: (plus ``list``/``all``/``<experiment>``) by
+#: :mod:`repro.analysis.docs_check`.
+TOOL_COMMANDS: dict[str, "Callable[[list[str]], int]"] = {
+    "lint": _lint,
+    "verify": _verify,
+    "explore": _explore,
+    "audit": _audit,
+    "bench": _bench,
+    "chaos": _chaos,
+    "metrics": _metrics,
+    "serve": _serve,
+}
+
+
+def tool_help(command: str) -> str:
+    """The captured ``--help`` text of one CLI tool (docs_check gate)."""
+    import contextlib
+    import io
+
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        try:
+            TOOL_COMMANDS[command](["--help"])
+        except SystemExit:
+            pass
+    return buf.getvalue()
+
+
 def _usage() -> str:
     names = " | ".join(EXPERIMENTS)
+    tools = " | ".join(TOOL_COMMANDS)
+    helps = ", ".join(f"'repro {name} --help'" for name in TOOL_COMMANDS)
     return (
-        "usage: repro {list | all | lint | verify | explore | audit | bench "
-        "| chaos | metrics | <experiment>}\n"
+        f"usage: repro {{list | all | {tools} | <experiment>}}\n"
         f"experiments: {names}\n"
-        "run 'repro list' for descriptions; 'repro lint --help', "
-        "'repro verify --help', 'repro explore --help', 'repro audit "
-        "--help', 'repro bench --help', 'repro chaos --help' and "
-        "'repro metrics --help' for tool flags"
+        f"run 'repro list' for descriptions; {helps} for tool flags"
     )
 
 
@@ -941,20 +1037,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_usage())
         return 0
     command, rest = args[0], args[1:]
-    if command == "lint":
-        return _lint(rest)
-    if command == "verify":
-        return _verify(rest)
-    if command == "explore":
-        return _explore(rest)
-    if command == "audit":
-        return _audit(rest)
-    if command == "bench":
-        return _bench(rest)
-    if command == "chaos":
-        return _chaos(rest)
-    if command == "metrics":
-        return _metrics(rest)
+    if command in TOOL_COMMANDS:
+        return TOOL_COMMANDS[command](rest)
     if rest:
         print(f"repro {command}: unexpected arguments {rest}", file=sys.stderr)
         return 2
@@ -975,8 +1059,7 @@ def main(argv: list[str] | None = None) -> int:
     hint = ""
     close = difflib.get_close_matches(
         command,
-        [*EXPERIMENTS, "list", "all", "lint", "verify", "explore", "audit",
-         "bench", "chaos", "metrics"],
+        [*EXPERIMENTS, "list", "all", *TOOL_COMMANDS],
         n=1,
     )
     if close:

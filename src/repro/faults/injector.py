@@ -38,7 +38,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..sim.trace import EventKind
+from ..runtime import events
 from .model import FaultEvent, FaultKind, FaultSchedule
 from .stats import ResilienceStats
 
@@ -252,44 +252,51 @@ class FaultInjector:
         if not container.is_available() or container.corrupted:
             # Nothing loaded to upset (or the damage is already done).
             self.stats.faults_no_effect += 1
-            runtime.trace.record(
-                t,
-                EventKind.FAULT_INJECTED,
-                container=container_id,
-                fault=FaultKind.TRANSIENT.value,
-                effect="none",
+            runtime.publish(
+                events.FaultInjected(
+                    t,
+                    fault=FaultKind.TRANSIENT.value,
+                    container=container_id,
+                    atom=None,
+                    effect="none",
+                )
             )
             return
         atom = container.mark_corrupted()
         self._corrupted[container_id] = _Episode(container_id, atom, t)
-        runtime.trace.record(
-            t,
-            EventKind.FAULT_INJECTED,
-            container=container_id,
-            fault=FaultKind.TRANSIENT.value,
-            atom=atom,
-            effect="corrupted",
+        runtime.publish(
+            events.FaultInjected(
+                t,
+                fault=FaultKind.TRANSIENT.value,
+                container=container_id,
+                atom=atom,
+                effect="corrupted",
+            )
         )
 
     def _inject_write_error(self, runtime: "RisppRuntime", t: int) -> None:
         job = runtime.port.abort_active(runtime.fabric, t)
         if job is None:
             self.stats.faults_no_effect += 1
-            runtime.trace.record(
-                t,
-                EventKind.FAULT_INJECTED,
-                fault=FaultKind.WRITE_ERROR.value,
-                effect="none",
+            runtime.publish(
+                events.FaultInjected(
+                    t,
+                    fault=FaultKind.WRITE_ERROR.value,
+                    container=None,
+                    atom=None,
+                    effect="none",
+                )
             )
             return
-        runtime.trace.record(
-            t,
-            EventKind.FAULT_INJECTED,
-            task=job.owner or "",
-            container=job.container_id,
-            fault=FaultKind.WRITE_ERROR.value,
-            atom=job.atom,
-            effect="write_aborted",
+        runtime.publish(
+            events.FaultInjected(
+                t,
+                fault=FaultKind.WRITE_ERROR.value,
+                container=job.container_id,
+                atom=job.atom,
+                effect="write_aborted",
+                task=job.owner or "",
+            )
         )
         key = (job.container_id, job.atom)
         attempts = self._attempts.get(key, 0)
@@ -307,14 +314,15 @@ class FaultInjector:
         self._attempts[key] = attempts + 1
         due = t + self._backoff_for(attempts)
         self.stats.rotation_retries += 1
-        runtime.trace.record(
-            t,
-            EventKind.ROTATION_RETRIED,
-            task=job.owner or "",
-            container=job.container_id,
-            atom=job.atom,
-            attempt=attempts + 1,
-            retry_at=due,
+        runtime.publish(
+            events.RotationRetried(
+                t,
+                task=job.owner or "",
+                container=job.container_id,
+                atom=job.atom,
+                attempt=attempts + 1,
+                retry_at=due,
+            )
         )
         self._retries.append(
             _Retry(due, job.container_id, job.atom, job.owner, job.repair)
@@ -333,21 +341,24 @@ class FaultInjector:
         container = runtime.fabric.container(container_id)
         if container.failed:
             self.stats.faults_no_effect += 1
-            runtime.trace.record(
-                t,
-                EventKind.FAULT_INJECTED,
-                container=container_id,
-                fault=FaultKind.PERMANENT.value,
-                effect="none",
+            runtime.publish(
+                events.FaultInjected(
+                    t,
+                    fault=FaultKind.PERMANENT.value,
+                    container=container_id,
+                    atom=None,
+                    effect="none",
+                )
             )
             return
-        runtime.trace.record(
-            t,
-            EventKind.FAULT_INJECTED,
-            container=container_id,
-            fault=FaultKind.PERMANENT.value,
-            atom=container.atom,
-            effect="failed",
+        runtime.publish(
+            events.FaultInjected(
+                t,
+                fault=FaultKind.PERMANENT.value,
+                container=container_id,
+                atom=container.atom,
+                effect="failed",
+            )
         )
         self.stats.containers_retired += 1
         runtime._fail_container_at(container_id, t)
@@ -370,23 +381,21 @@ class FaultInjector:
         episode.detected_at = t
         self.stats.faults_detected += 1
         self.stats.detection_cycles_total += t - episode.injected_at
-        runtime.trace.record(
-            t,
-            EventKind.FAULT_DETECTED,
-            container=container_id,
-            atom=episode.atom,
-            injected_at=episode.injected_at,
-            latency=t - episode.injected_at,
+        runtime.publish(
+            events.FaultDetected(
+                t,
+                container=container_id,
+                atom=episode.atom,
+                injected_at=episode.injected_at,
+                latency=t - episode.injected_at,
+            )
         )
         lost = container.quarantine()
         self.stats.containers_quarantined += 1
         if self._obs_on:
             self._m_quarantine.inc()
-        runtime.trace.record(
-            t,
-            EventKind.CONTAINER_QUARANTINED,
-            container=container_id,
-            atom=lost,
+        runtime.publish(
+            events.ContainerQuarantined(t, container=container_id, atom=lost)
         )
         self._quarantined[container_id] = episode
         if runtime.port.is_reserved(container_id):
@@ -466,14 +475,15 @@ class FaultInjector:
             if self._obs_on:
                 self._m_repair_cycles.observe(mttr)
                 self._m_quarantine.dec()
-            runtime.trace.record(
-                job.finish_at,
-                EventKind.CONTAINER_REPAIRED,
-                task=job.owner or "",
-                container=container_id,
-                atom=job.atom,
-                injected_at=repaired.injected_at,
-                mttr=mttr,
+            runtime.publish(
+                events.ContainerRepaired(
+                    job.finish_at,
+                    task=job.owner or "",
+                    container=container_id,
+                    atom=job.atom,
+                    injected_at=repaired.injected_at,
+                    mttr=mttr,
+                )
             )
 
     def on_container_failed(self, container_id: int, now: int) -> None:

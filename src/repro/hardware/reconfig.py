@@ -80,7 +80,28 @@ class ReconfigurationPort:
         self.jobs: list[RotationJob] = []
         self._pending: list[RotationJob] = []
         self._reserved: set[int] = set()
+        #: Set by :meth:`attach`: the owning runtime whose event bus
+        #: receives a ``RotationCompleted`` per retired job.  Standalone
+        #: ports (unit tests, planners) stay unattached and communicate
+        #: through :meth:`advance`'s return value alone.
+        self._runtime = None
+        self._ev_completed: type | None = None
         self._bind_metrics(metrics)
+
+    def attach(self, runtime) -> None:
+        """Bind to one runtime (called by ``RisppRuntime.__init__``).
+
+        Once attached, every job this port retires is published as a
+        :class:`repro.runtime.events.RotationCompleted` on the runtime's
+        event bus — after the port's own state is fully settled, so
+        handlers that issue new rotations never race the completion scan.
+        """
+        if self._runtime is not None and self._runtime is not runtime:
+            raise ValueError("reconfiguration port is already attached")
+        from ..runtime.events import RotationCompleted
+
+        self._runtime = runtime
+        self._ev_completed = RotationCompleted
 
     def _bind_metrics(self, metrics: "MetricRegistry | None") -> None:
         from ..obs import DISABLED
@@ -200,6 +221,13 @@ class ReconfigurationPort:
                 self._m_queue_delay.observe(job.queue_delay)
                 self._m_busy.inc(job.duration)
             self._m_queue_depth.set(len(self._pending))
+        if self._runtime is not None and completed:
+            # Publish with the port fully settled: reservation released,
+            # queue depth updated.  Handlers may request new rotations —
+            # those append to ``_pending`` without disturbing this scan.
+            assert self._ev_completed is not None
+            for job in completed:
+                self._runtime.publish(self._ev_completed(job.finish_at, job=job))
         return completed
 
     def _drop_failed(self, fabric: Fabric, now: int) -> None:

@@ -314,6 +314,46 @@ for _s in (
         unit="resumes", source="src/repro/recovery/runtime.py",
         paper="robustness extension", deterministic=False,
     ),
+    # -- scenario daemon (repro/serve/, docs/serving.md) ------------------
+    MetricSpec(
+        "serve_requests_total", COUNTER,
+        "HTTP requests handled by the scenario daemon, by endpoint "
+        "(service telemetry; request arrival is not seeded, so the "
+        "series is excluded from deterministic snapshots).",
+        unit="requests", source="src/repro/serve/daemon.py",
+        paper="serving extension", labels=("endpoint",),
+        label_values={
+            "endpoint": (
+                "healthz", "readyz", "metrics", "scenario", "shutdown",
+                "other",
+            ),
+        },
+        deterministic=False,
+    ),
+    MetricSpec(
+        "serve_scenarios_total", COUNTER,
+        "Scenario requests completed by the runtime facade, by outcome "
+        "(service telemetry; excluded from deterministic snapshots).",
+        unit="scenarios", source="src/repro/serve/facade.py",
+        paper="serving extension", labels=("outcome",),
+        label_values={"outcome": ("ok", "degraded", "error")},
+        deterministic=False,
+    ),
+    MetricSpec(
+        "serve_scenario_duration_seconds", HISTOGRAM,
+        "Wall-clock time from scenario submission to rendered report "
+        "(span timer; excluded from deterministic snapshots).",
+        unit="seconds", source="src/repro/serve/facade.py",
+        paper="serving extension", buckets=TIME_BUCKETS,
+        deterministic=False,
+    ),
+    MetricSpec(
+        "serve_workers", GAUGE,
+        "Size of the scenario daemon's worker process pool (service "
+        "telemetry; excluded from deterministic snapshots).",
+        unit="workers", source="src/repro/serve/facade.py",
+        paper="serving extension", deterministic=False,
+    ),
 ):
     _spec(_s, METRICS)
 

@@ -35,7 +35,9 @@ from ..core.selection import ForecastedSI, select_greedy
 from ..core.si import MoleculeImpl
 from ..hardware.fabric import Fabric
 from ..hardware.reconfig import ReconfigurationPort, RotationJob
-from ..sim.trace import EventKind, Trace
+from ..sim.trace import Trace
+from . import events
+from .events import EventBus, default_bus
 from .monitor import ForecastMonitor
 from .replacement import LRUPolicy, ReplacementPolicy
 from .rotation import future_population, plan_rotations
@@ -101,9 +103,15 @@ class RisppRuntime:
         faults: "FaultInjector | None" = None,
         metrics: "MetricRegistry | None" = None,
         backend: "str | object | None" = None,
+        bus: EventBus | None = None,
     ):
         from ..obs import DISABLED
 
+        #: The runtime event bus (``docs/events.md``).  All cross-
+        #: component notifications flow through :meth:`publish`; a caller
+        #: may pass a pre-wired bus to add subscribers before the first
+        #: event fires.
+        self.bus = bus if bus is not None else default_bus()
         self.library = library
         #: The telemetry registry shared by every component of this
         #: runtime (fabric, port, monitor, fault injector) — the
@@ -123,6 +131,7 @@ class RisppRuntime:
         if bytes_per_us is not None:
             port_kwargs["bytes_per_us"] = bytes_per_us
         self.port = ReconfigurationPort(library.catalogue, **port_kwargs)
+        self.port.attach(self)
         self.policy = policy if policy is not None else LRUPolicy()
         self.trace = trace if trace is not None else Trace()
         self.monitor = monitor if monitor is not None else ForecastMonitor()
@@ -199,6 +208,12 @@ class RisppRuntime:
         self._m_fc_fired = forecasts.labels(event="fired")
         self._m_fc_ended = forecasts.labels(event="ended")
 
+    # -- events ----------------------------------------------------------
+
+    def publish(self, event: object) -> None:
+        """Dispatch ``event`` to the bus subscribers, synchronously."""
+        self.bus.publish(self, event)
+
     # -- time ------------------------------------------------------------
 
     def advance(self, now: int) -> None:
@@ -220,6 +235,7 @@ class RisppRuntime:
         ):
             # Nothing scheduled, in flight, or due: state cannot change.
             return
+        self.publish(events.Tick(now))
         if faults is not None:
             while True:
                 due = faults.next_cycle(now)
@@ -230,30 +246,20 @@ class RisppRuntime:
         self._drain_completions_until(now)
 
     def _drain_completions_until(self, limit: int) -> None:
-        """Process completions chronologically, then starts, up to ``limit``."""
+        """Process completions chronologically, then starts, up to ``limit``.
+
+        The attached port publishes a :class:`~repro.runtime.events.
+        RotationCompleted` per retired job; the subscribed trace / fault /
+        replan handlers react at the job's own cycle.
+        """
         while True:
             next_completion = self.port.next_completion()
             if next_completion is None or next_completion > limit:
                 break
-            for job in self.port.advance(self.fabric, next_completion):
-                self._on_rotation_completed(job)
-        # Finally process rotation *starts* (evictions) up to ``limit``.
+            self.port.advance(self.fabric, next_completion)
+        # Finally process rotation *starts* (evictions) up to ``limit``
+        # (provably completion-free: the loop above drained them all).
         self.port.advance(self.fabric, limit)
-
-    def _on_rotation_completed(self, job: RotationJob) -> None:
-        self.trace.record(
-            job.finish_at,
-            EventKind.ROTATION_COMPLETED,
-            task=job.owner or "",
-            detail_atom=job.atom,
-            container=job.container_id,
-        )
-        if self._faults is not None:
-            self._faults.on_rotation_completed(self, job)
-        if self._unplaced_for is not None and self._active:
-            trigger = self._unplaced_for
-            self._unplaced_for = None
-            self._replan(job.finish_at, triggering_task=trigger)
 
     # -- forecasts (task a + b + c) --------------------------------------------
 
@@ -273,37 +279,23 @@ class RisppRuntime:
             raise ValueError("priority must be positive")
         self.advance(now)
         compile_time = expected if expected is not None else 1.0
+        # The monitor fine-tune is a synchronous *query*, not an event:
+        # the tuned expectation is part of the published payload.
         tuned = self.monitor.forecast_fired(task, si_name, compile_time, now)
         self._active[(task, si_name)] = _ActiveForecast(
             task=task, si_name=si_name, weight=tuned, priority=priority
         )
-        self.trace.record(
-            now,
-            EventKind.FORECAST,
-            task=task,
-            si=si_name,
-            expected=tuned,
-            priority=priority,
+        self.publish(
+            events.ForecastFired(
+                now, task=task, si=si_name, expected=tuned, priority=priority
+            )
         )
-        if self._obs_on:
-            self._m_fc_fired.inc()
-        if self.forecasting:
-            self._replan(now, triggering_task=task)
 
     def forecast_end(self, si_name: str, now: int, *, task: str = "main") -> None:
         """An FC states the SI is no longer needed: release and replan."""
         self.advance(now)
-        self.monitor.forecast_ended(task, si_name, now)
         self._active.pop((task, si_name), None)
-        self.trace.record(now, EventKind.FORECAST_END, task=task, si=si_name)
-        if self._obs_on:
-            self._m_fc_ended.inc()
-        if self.forecasting:
-            # Freed containers may enable upgrades for the remaining SIs;
-            # replan on behalf of the task(s) still holding forecasts.
-            remaining = {f.task for f in self._active.values()}
-            trigger = sorted(remaining)[0] if remaining else task
-            self._replan(now, triggering_task=trigger)
+        self.publish(events.ForecastEnded(now, task=task, si=si_name))
 
     def active_forecasts(self) -> list[_ActiveForecast]:
         return list(self._active.values())
@@ -323,10 +315,10 @@ class RisppRuntime:
             self._active[(task, si_name)] = _ActiveForecast(
                 task=task, si_name=si_name, weight=1.0, priority=1.0
             )
-            self._replan(now, triggering_task=task)
+            self.publish(
+                events.ReplanRequested(now, task=task, reason="on_demand")
+            )
         impl = self._best_available(si)
-        if impl is None and self._faults is not None:
-            self._faults.note_execution(self, si, now)
         if impl is None:
             cycles = si.software_cycles
             mode = "SW"
@@ -337,38 +329,20 @@ class RisppRuntime:
         previous = self._last_mode.get((task, si_name))
         if previous is not None and previous != mode:
             self.stats.mode_switches += 1
-            if self._obs_on:
-                self._m_mode_switches.inc()
-            self.trace.record(
-                now,
-                EventKind.SI_MODE_SWITCH,
-                task=task,
-                si=si_name,
-                from_mode=previous,
-                to_mode=mode,
-                cycles=cycles,
+            self.publish(
+                events.SIModeSwitched(
+                    now,
+                    task=task,
+                    si=si_name,
+                    from_mode=previous,
+                    to_mode=mode,
+                    cycles=cycles,
+                )
             )
         self._last_mode[(task, si_name)] = mode
-        self.monitor.si_executed(task, si_name)
-        if self._optimize:
-            # Lazy detail: the dict is only built if somebody reads it —
-            # resolved values are identical to the eager form below.
-            self.trace.record_lazy(
-                now,
-                EventKind.SI_EXECUTED,
-                lambda mode=mode, cycles=cycles: {"mode": mode, "cycles": cycles},
-                task=task,
-                si=si_name,
-            )
-        else:
-            self.trace.record(
-                now,
-                EventKind.SI_EXECUTED,
-                task=task,
-                si=si_name,
-                mode=mode,
-                cycles=cycles,
-            )
+        # Execution accounting is the publisher's own bookkeeping (it
+        # computes the return value's energy attribution); subscribers
+        # get the settled picture.
         per_task = self.task_stats.setdefault(task, RuntimeStats())
         energy = 0.0
         if self.energy_model is not None:
@@ -386,14 +360,16 @@ class RisppRuntime:
                 stats.sw_executions += 1
             else:
                 stats.hw_executions += 1
-        if self._obs_on:
-            if impl is None:
-                self._m_exec_sw.inc()
-                self._m_cycles_sw.inc(cycles)
-            else:
-                self._m_exec_hw.inc()
-                self._m_cycles_hw.inc(cycles)
-            self._m_si_latency.observe(cycles)
+        self.publish(
+            events.SIExecuted(
+                now,
+                task=task,
+                si=si_name,
+                mode=mode,
+                cycles=cycles,
+                hw=impl is not None,
+            )
+        )
         return cycles
 
     def fail_container(self, container_id: int, now: int) -> None:
@@ -425,24 +401,18 @@ class RisppRuntime:
         :meth:`advance` and must not re-enter it.
         """
         lost = self.fabric.fail_container(container_id)
-        if self._faults is not None:
-            self._faults.on_container_failed(container_id, now)
-        # Release any reservation the port held on the dead container.
+        # Release any reservation the port held on the dead container
+        # (provably completion-free: completions up to ``now`` are
+        # already drained and remaining jobs finish strictly later).
         self.port.advance(self.fabric, now)
-        self.trace.record(
-            now,
-            EventKind.CONTAINER_FAILED,
-            container=container_id,
-            lost_atom=lost,
+        self.publish(
+            events.ContainerFailed(now, container=container_id, lost_atom=lost)
         )
-        self._request_replan(now)
         return lost
 
     def _request_replan(self, now: int) -> None:
         """Replan on behalf of the active forecasts, if any."""
-        if self._active:
-            trigger = sorted({f.task for f in self._active.values()})[0]
-            self._replan(now, triggering_task=trigger)
+        self.publish(events.ReplanRequested(now, task=None, reason="fault"))
 
     def si_cycles(self, si_name: str, now: int) -> int:
         """Latency one execution would take right now (no side effects)."""
@@ -541,13 +511,13 @@ class RisppRuntime:
                 ),
             )
         for container_id, old_owner, new_owner in plan.reallocated:
-            self.trace.record(
-                now,
-                EventKind.REALLOCATION,
-                task=new_owner or "",
-                container=container_id,
-                from_task=old_owner,
-                to_task=new_owner,
+            self.publish(
+                events.ContainerReallocated(
+                    now,
+                    container=container_id,
+                    from_task=old_owner,
+                    to_task=new_owner,
+                )
             )
         for job in plan.jobs:
             self._record_rotation_request(job, now)
@@ -564,34 +534,12 @@ class RisppRuntime:
     def _record_rotation_request(
         self, job: RotationJob, now: int, *, repair: bool = False
     ) -> None:
-        """Account for and trace one issued rotation request.
+        """Publish one issued rotation request.
 
         Used for every planner job and for the fault injector's repair
         and retry requests, so stats and trace schema stay uniform.
         """
-        self.stats.rotations_requested += 1
-        if self._obs_on:
-            (self._m_rot_repair if repair else self._m_rot_planned).inc()
-        if self.energy_model is not None:
-            kind = self.library.catalogue.get(job.atom)
-            self.stats.rotation_energy_nj += (
-                kind.bitstream_bytes * self.energy_model.rotation_nj_per_byte
-            )
-        detail: dict = dict(
-            detail_atom=job.atom,
-            container=job.container_id,
-            starts=job.started_at,
-            finishes=job.finish_at,
-            evicts=job.evicted,
-        )
-        if repair:
-            detail["repair"] = True
-        self.trace.record(
-            now,
-            EventKind.ROTATION_REQUESTED,
-            task=job.owner or "",
-            **detail,
-        )
+        self.publish(events.RotationRequested(now, job=job, repair=repair))
 
     def _rotation_priority(
         self, chosen: dict, weights: dict[str, float], loaded: Molecule

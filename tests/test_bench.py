@@ -100,8 +100,21 @@ class TestSuites:
         assert names == [
             "selection", "selection_backend", "rotation_planning",
             "execute_si", "trace_record", "metrics_overhead",
-            "state_explore", "audit", "recovery",
+            "state_explore", "audit", "recovery", "serve",
         ]
+
+    def test_serve_stage_proves_pool_determinism(self, synthetic_report):
+        stage = next(
+            s for s in synthetic_report["stages"] if s["name"] == "serve"
+        )
+        extra = stage["extra"]
+        # 1-worker and 4-worker pools must return byte-identical
+        # responses per request — the serve determinism contract.
+        assert extra["results_equal"] is True
+        assert stage["iterations"] == extra["scenarios"] == len(extra["seeds"])
+        assert extra["wall_1_worker_s"] > 0
+        assert extra["wall_4_workers_s"] > 0
+        assert stage["unit"] == "scenarios/s"
 
     def test_recovery_stage_proves_crash_consistency(self, synthetic_report):
         stage = next(

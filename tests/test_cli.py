@@ -225,3 +225,68 @@ class TestExploreCommand:
         )
         assert not target.exists()
         assert "no counterexample" in capsys.readouterr().err
+
+
+class TestOverwriteGuard:
+    """``--json``/``--output`` refuse to clobber files without ``--force``.
+
+    A silent overwrite destroys evidence (a baseline report, a previous
+    campaign), so an existing target without ``--force`` is a usage
+    error — exit 2, file untouched.
+    """
+
+    def test_chaos_refuses_existing_json_target(self, tmp_path, capsys):
+        target = tmp_path / "chaos.json"
+        target.write_text("precious baseline\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--quick", "--json", str(target)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "refusing to overwrite existing file" in err
+        assert "--force" in err
+        assert target.read_text() == "precious baseline\n"
+
+    def test_chaos_force_replaces_existing_json_target(self, tmp_path, capsys):
+        target = tmp_path / "chaos.json"
+        target.write_text("old report\n")
+        assert (
+            main(["chaos", "--quick", "--json", str(target), "--force"]) == 0
+        )
+        report = json.loads(target.read_text())
+        assert report["kind"] == "rispp-chaos-report"
+
+    def test_chaos_writes_fresh_target_without_force(self, tmp_path, capsys):
+        target = tmp_path / "chaos.json"
+        assert main(["chaos", "--quick", "--json", str(target)]) == 0
+        assert json.loads(target.read_text())["kind"] == "rispp-chaos-report"
+
+    def test_metrics_refuses_existing_output_target(self, tmp_path, capsys):
+        target = tmp_path / "metrics.jsonl"
+        target.write_text("precious snapshot\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "metrics", "--quick", "--format", "json",
+                    "--output", str(target),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "refusing to overwrite existing file" in capsys.readouterr().err
+        assert target.read_text() == "precious snapshot\n"
+
+    def test_metrics_force_replaces_existing_output_target(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "metrics.jsonl"
+        target.write_text("old snapshot\n")
+        assert (
+            main(
+                [
+                    "metrics", "--quick", "--format", "json",
+                    "--output", str(target), "--force",
+                ]
+            )
+            == 0
+        )
+        first_line = target.read_text().splitlines()[0]
+        json.loads(first_line)

@@ -31,6 +31,40 @@ def _analysis_stub() -> str:
     return "\n".join(lines) + "\n"
 
 
+def _events_stub() -> str:
+    """A minimal events.md covering the taxonomy, wiring and bands."""
+    from repro.runtime import events as ev
+
+    lines = ["# Events", ""]
+    lines += [f"- `{t.__name__}`" for t in ev.EVENT_TYPES]
+    lines += sorted(
+        {f"- `{handler.__name__}`" for _, _, handler in ev.DEFAULT_WIRING}
+    )
+    lines += [
+        f"- `{name}`" for name in dir(ev) if name.startswith("PRIORITY_")
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def _serving_stub() -> str:
+    """A minimal serving.md covering every endpoint and request field."""
+    from repro.serve import ENDPOINTS, SCENARIO_DEFAULTS
+
+    lines = ["# Serving", ""]
+    lines += [f"- {method} {path}" for method, path, _ in ENDPOINTS]
+    lines += [f"- `{field}`" for field in sorted(SCENARIO_DEFAULTS)]
+    return "\n".join(lines) + "\n"
+
+
+def _readme_stub() -> str:
+    """A minimal README whose CLI table rows every tool command."""
+    from repro.cli import TOOL_COMMANDS
+
+    lines = ["# Stub", "", "| Command | What |", "|---|---|"]
+    lines += [f"| `{name}` | the {name} tool |" for name in TOOL_COMMANDS]
+    return "\n".join(lines) + "\n"
+
+
 @pytest.fixture
 def repo(tmp_path):
     """A minimal healthy repo layout the checker accepts."""
@@ -41,6 +75,9 @@ def repo(tmp_path):
         _observability_stub()
     )
     (tmp_path / "docs" / "analysis.md").write_text(_analysis_stub())
+    (tmp_path / "docs" / "events.md").write_text(_events_stub())
+    (tmp_path / "docs" / "serving.md").write_text(_serving_stub())
+    (tmp_path / "README.md").write_text(_readme_stub())
     return tmp_path
 
 
@@ -154,6 +191,123 @@ class TestRuleCoverage:
 
     def test_known_aud_rule_id_passes(self, repo):
         (repo / "docs" / "guide.md").write_text("Rule AUD001 applies.\n")
+        assert _findings(repo) == []
+
+
+class TestEventsCoverage:
+    def test_missing_events_doc_is_flagged(self, repo):
+        (repo / "docs" / "events.md").unlink()
+        assert any("events.md is missing" in f for f in _findings(repo))
+
+    def test_undocumented_event_is_flagged(self, repo):
+        stub = _events_stub().replace("`RotationCompleted`", "`x`")
+        (repo / "docs" / "events.md").write_text(stub)
+        assert any("'RotationCompleted'" in f for f in _findings(repo))
+
+    def test_undocumented_handler_is_flagged(self, repo):
+        stub = _events_stub().replace("`_monitor_si_executed`", "`y`")
+        (repo / "docs" / "events.md").write_text(stub)
+        assert any("'_monitor_si_executed'" in f for f in _findings(repo))
+
+    def test_undocumented_priority_band_is_flagged(self, repo):
+        stub = _events_stub().replace("`PRIORITY_REPLAN`", "`z`")
+        (repo / "docs" / "events.md").write_text(stub)
+        assert any("'PRIORITY_REPLAN'" in f for f in _findings(repo))
+
+    def test_phantom_event_name_is_flagged(self, repo):
+        (repo / "docs" / "events.md").write_text(
+            _events_stub() + "\nAlso `MoleculeFired` fires here.\n"
+        )
+        assert any("'MoleculeFired'" in f for f in _findings(repo))
+
+    def test_phantom_handler_is_flagged(self, repo):
+        (repo / "docs" / "events.md").write_text(
+            _events_stub() + "\nThen `_trace_everything` runs.\n"
+        )
+        assert any("'_trace_everything'" in f for f in _findings(repo))
+
+    def test_unknown_evt_rule_id_is_flagged(self, repo):
+        (repo / "docs" / "guide.md").write_text("Rule EVT999 applies.\n")
+        assert any("EVT999" in f for f in _findings(repo))
+
+    @pytest.mark.parametrize("rule_id", ["EVT001", "EVT002", "EVT003"])
+    def test_undocumented_evt_rule_is_flagged(self, repo, rule_id):
+        stub = _analysis_stub().replace(rule_id, "redacted")
+        (repo / "docs" / "analysis.md").write_text(stub)
+        assert any(rule_id in f for f in _findings(repo))
+
+
+class TestServingCoverage:
+    def test_missing_serving_doc_is_flagged(self, repo):
+        (repo / "docs" / "serving.md").unlink()
+        assert any("serving.md is missing" in f for f in _findings(repo))
+
+    def test_undocumented_endpoint_is_flagged(self, repo):
+        stub = _serving_stub().replace("GET /readyz", "GET /")
+        (repo / "docs" / "serving.md").write_text(stub)
+        assert any("'GET /readyz'" in f for f in _findings(repo))
+
+    def test_undocumented_scenario_field_is_flagged(self, repo):
+        stub = _serving_stub().replace("`fault_rate`", "`x`")
+        (repo / "docs" / "serving.md").write_text(stub)
+        assert any("'fault_rate'" in f for f in _findings(repo))
+
+    def test_phantom_endpoint_is_flagged(self, repo):
+        (repo / "docs" / "serving.md").write_text(
+            _serving_stub() + "\nPOST /reboot restarts everything.\n"
+        )
+        assert any("POST /reboot" in f for f in _findings(repo))
+
+    def test_phantom_endpoint_in_fence_is_flagged(self, repo):
+        # Unlike rule IDs, endpoint drift inside a curl example is
+        # exactly what the check must catch.
+        (repo / "docs" / "serving.md").write_text(
+            _serving_stub() + "\n```\ncurl -X DELETE /scenario\n```\n"
+        )
+        assert any("DELETE /scenario" in f for f in _findings(repo))
+
+
+class TestCliSurface:
+    def test_tool_without_readme_row_is_flagged(self, repo):
+        stub = "\n".join(
+            line
+            for line in _readme_stub().splitlines()
+            if "`serve`" not in line
+        )
+        (repo / "README.md").write_text(stub + "\n")
+        assert any("'repro serve' has no row" in f for f in _findings(repo))
+
+    def test_unknown_tool_row_is_flagged(self, repo):
+        (repo / "README.md").write_text(
+            _readme_stub() + "| `transmogrify` | not a tool |\n"
+        )
+        assert any("'transmogrify'" in f for f in _findings(repo))
+
+    def test_unknown_flag_in_tool_row_is_flagged(self, repo):
+        (repo / "README.md").write_text(
+            _readme_stub()
+            + "| `serve` | with `--warp-speed 9` | example |\n"
+        )
+        assert any("'--warp-speed'" in f for f in _findings(repo))
+
+    def test_real_flag_in_tool_row_passes(self, repo):
+        (repo / "README.md").write_text(
+            _readme_stub()
+            + "| `serve --workers` | pool size | `repro serve --port 0` |\n"
+        )
+        assert _findings(repo) == []
+
+    def test_filename_rows_are_not_commands(self, repo):
+        (repo / "README.md").write_text(
+            _readme_stub() + "| `quickstart.py` | an example file |\n"
+        )
+        assert _findings(repo) == []
+
+    def test_placeholder_and_list_rows_are_exempt(self, repo):
+        (repo / "README.md").write_text(
+            _readme_stub()
+            + "| `<figN>` / `all` | regenerate |\n| `list` | list |\n"
+        )
         assert _findings(repo) == []
 
 
